@@ -1,0 +1,414 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the synthetic dataset stand-ins: Table I and Figures
+// 2 through 7, for both datasets and both target models. Results are written
+// as markdown, CSV and PNG files under -out.
+//
+// Usage:
+//
+//	experiments -exp all -scale small -out results
+//	experiments -exp table1,fig5 -scale medium -out results -seed 7
+//	experiments -scale paper -out results     # the full-size run (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/heatmap"
+	"repro/internal/interpret/gradient"
+	"repro/internal/interpret/lime"
+	"repro/internal/lmt"
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+type scaleSpec struct {
+	size, perClass int
+	hidden         []int
+	nnEpochs       int
+	instances      int // interpreted instances per (dataset, model)
+	maxFlips       int
+	fig2PerClass   int
+}
+
+var scales = map[string]scaleSpec{
+	"small":  {size: 10, perClass: 60, hidden: []int{32, 16}, nnEpochs: 20, instances: 15, maxFlips: 20, fig2PerClass: 5},
+	"medium": {size: 16, perClass: 200, hidden: []int{64, 32}, nnEpochs: 15, instances: 50, maxFlips: 60, fig2PerClass: 10},
+	"paper":  {size: 28, perClass: 7000, hidden: []int{256, 128, 100}, nnEpochs: 10, instances: 1000, maxFlips: 200, fig2PerClass: 40},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		expList = flag.String("exp", "all", "comma list: table1,fig2,fig3,fig4,fig5,fig6,fig7,census,ablation,boundary or all")
+		scale   = flag.String("scale", "small", "small, medium or paper")
+		outDir  = flag.String("out", "results", "output directory")
+		seed    = flag.Int64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	spec, ok := scales[*scale]
+	if !ok {
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	var table1Rows []eval.AccuracyRow
+	for _, ds := range []string{"fmnist", "mnist"} {
+		start := time.Now()
+		fmt.Printf("== dataset %s: building workbench (%s scale)\n", ds, *scale)
+		w, err := eval.NewWorkbench(eval.WorkbenchConfig{
+			Dataset:  ds,
+			Size:     spec.size,
+			PerClass: spec.perClass,
+			Hidden:   spec.hidden,
+			NNEpochs: spec.nnEpochs,
+			LMT: lmt.Config{
+				MinLeaf:      100,
+				StopAccuracy: 0.99,
+				MaxDepth:     8,
+				MaxFeatures:  maxFeatures(spec.size),
+				LogReg:       lmt.LogRegConfig{Epochs: 80},
+			},
+			Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   trained in %v (PLNN test acc %.3f, LMT test acc %.3f, LMT leaves %d)\n",
+			time.Since(start).Round(time.Millisecond),
+			w.PLNN.Net.Accuracy(w.Test.X, w.Test.Y),
+			w.LMT.Accuracy(w.Test.X, w.Test.Y),
+			w.LMT.NumLeaves())
+
+		if all || want["table1"] {
+			table1Rows = append(table1Rows, eval.Table1(w)...)
+		}
+		if all || want["fig2"] {
+			if err := runFig2(w, ds, *outDir, spec, *seed); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(*seed + 77))
+		ids := w.SampleTestInstances(rng, spec.instances)
+		xs := w.Test.Subset(ids, "probe").X
+
+		for _, entry := range w.Models() {
+			if all || want["fig3"] {
+				if err := runFig3(w, entry, ds, *outDir, xs, spec, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if all || want["fig4"] {
+				if err := runFig4(w, entry, ds, *outDir, ids, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if all || want["fig5"] || want["fig6"] || want["fig7"] {
+				if err := runQuality(entry, ds, *outDir, xs, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if all || want["census"] {
+				if err := runCensus(entry, ds, *outDir, xs, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if all || want["ablation"] {
+				if err := runAblation(entry, ds, *outDir, xs, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if all || want["boundary"] {
+				if err := runBoundary(entry, ds, *outDir, xs, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	if all || want["table1"] {
+		path := filepath.Join(*outDir, "table1.md")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eval.WriteTable1(f, table1Rows); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+	if err := writeIndex(*outDir, *scale, *seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("done")
+}
+
+// writeIndex emits results/INDEX.md describing every artifact the harness
+// can produce, so a reader landing in the output directory knows which file
+// regenerates which paper figure.
+func writeIndex(outDir, scale string, seed int64) error {
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "INDEX.md")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Experiment artifacts (scale %s, seed %d)\n\n", scale, seed)
+	fmt.Fprintln(f, "| File pattern | Paper artifact |")
+	fmt.Fprintln(f, "|---|---|")
+	fmt.Fprintln(f, "| table1.md | Table I: train/test accuracy |")
+	fmt.Fprintln(f, "| fig2_*_grid.png | Figure 2 montage (mean / PLNN / LMT rows) |")
+	fmt.Fprintln(f, "| fig2_*_{mean,plnn,lmt}.png | Figure 2 individual heatmaps |")
+	fmt.Fprintln(f, "| fig3_*.csv | Figure 3: CPP and NLCI curves |")
+	fmt.Fprintln(f, "| fig4_*.csv | Figure 4: consistency (cosine) curves |")
+	fmt.Fprintln(f, "| fig567_*.md | Figures 5-7: RD / WD / L1Dist grids |")
+	fmt.Fprintln(f, "| census_*.md | Region census (paper §II structure) |")
+	fmt.Fprintln(f, "| ablation_*.md | Solver ablation A1 (DESIGN.md) |")
+	fmt.Fprintln(f, "| boundary_*.csv | Boundary profile (paper Figure 1, quantified) |")
+	fmt.Fprintf(f, "\n%d files in this run:\n\n", len(entries))
+	for _, e := range entries {
+		if e.Name() == "INDEX.md" {
+			continue
+		}
+		fmt.Fprintf(f, "- %s\n", e.Name())
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func maxFeatures(size int) int {
+	if size >= 24 {
+		return 64 // cap split search on paper-scale images
+	}
+	return 0
+}
+
+func runFig2(w *eval.Workbench, ds, outDir string, spec scaleSpec, seed int64) error {
+	// The paper shows five FMNIST classes: boot, pullover, coat, sneaker,
+	// t-shirt. For the digit dataset use digits 0-4.
+	classes := []int{0, 1, 2, 3, 4}
+	if ds == "fmnist" {
+		classes = []int{9, 2, 4, 7, 0}
+	}
+	o := core.New(core.Config{Seed: seed + 10})
+	rng := rand.New(rand.NewSource(seed + 11))
+	hms, err := eval.Figure2(w, o, classes, spec.fig2PerClass, rng)
+	if err != nil {
+		return err
+	}
+	// Three montage rows like the paper's figure: mean images, PLNN
+	// decision features, LMT decision features; one column per class.
+	grid := make([][]image.Image, 3)
+	for i := range grid {
+		grid[i] = make([]image.Image, len(hms))
+	}
+	for col, hm := range hms {
+		gray, err := heatmap.Grayscale(hm.MeanImage, w.Test.Width, w.Test.Height)
+		if err != nil {
+			return err
+		}
+		grid[0][col] = gray
+		if err := heatmap.SavePNG(filepath.Join(outDir, fmt.Sprintf("fig2_%s_%s_mean.png", ds, hm.ClassName)), gray); err != nil {
+			return err
+		}
+		for name, dv := range hm.AvgDecision {
+			img, err := heatmap.Diverging(dv, w.Test.Width, w.Test.Height)
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "PLNN":
+				grid[1][col] = img
+			case "LMT":
+				grid[2][col] = img
+			}
+			path := filepath.Join(outDir, fmt.Sprintf("fig2_%s_%s_%s.png", ds, hm.ClassName, strings.ToLower(name)))
+			if err := heatmap.SavePNG(path, img); err != nil {
+				return err
+			}
+		}
+	}
+	montage, err := heatmap.Montage(grid, 2)
+	if err != nil {
+		return err
+	}
+	if err := heatmap.SavePNG(filepath.Join(outDir, fmt.Sprintf("fig2_%s_grid.png", ds)), montage); err != nil {
+		return err
+	}
+	fmt.Printf("   fig2: wrote %d heatmap sets + grid for %s\n", len(hms), ds)
+	return nil
+}
+
+// fig34Methods builds the Figure 3/4 method set for one model: the three
+// white-box gradient baselines, classic LIME, and OpenAPI.
+func fig34Methods(w *eval.Workbench, entry eval.ModelEntry, seed int64) []plm.Interpreter {
+	var grad func(cfg gradient.Config) *gradient.Interpreter
+	if entry.Name == "PLNN" {
+		grad = func(cfg gradient.Config) *gradient.Interpreter {
+			return gradient.New(w.PLNN.Net, cfg)
+		}
+	} else {
+		grad = func(cfg gradient.Config) *gradient.Interpreter {
+			return gradient.NewFromRegionModel(entry.Model, cfg)
+		}
+	}
+	return []plm.Interpreter{
+		grad(gradient.Config{Method: gradient.Saliency}),
+		core.New(core.Config{Seed: seed + 20}),
+		grad(gradient.Config{Method: gradient.IntegratedGradients}),
+		grad(gradient.Config{Method: gradient.GradientInput}),
+		lime.New(lime.Config{H: 1e-2, Mode: lime.FitProbability, Seed: seed + 21}),
+	}
+}
+
+func runFig3(w *eval.Workbench, entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, spec scaleSpec, seed int64) error {
+	curves, err := eval.Figure3(entry.Model, fig34Methods(w, entry, seed), xs, spec.maxFlips)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("fig3_%s_%s.csv", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eval.WriteCurvesCSV(f, curves); err != nil {
+		return err
+	}
+	fmt.Printf("   fig3: wrote %s\n", path)
+	return nil
+}
+
+func runFig4(w *eval.Workbench, entry eval.ModelEntry, ds, outDir string, ids []int, seed int64) error {
+	pairs, err := eval.NeighbourPairs(w, ids)
+	if err != nil {
+		return err
+	}
+	curves, err := eval.Figure4(entry.Model, fig34Methods(w, entry, seed+30), pairs)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("fig4_%s_%s.csv", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eval.WriteConsistencyCSV(f, curves); err != nil {
+		return err
+	}
+	fmt.Printf("   fig4: wrote %s\n", path)
+	return nil
+}
+
+func runCensus(entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 50))
+	census, err := eval.RegionCensus(entry.Model, xs, 200, 18, rng)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("census_%s_%s.md", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Region census: %s / %s\n\n", ds, entry.Name)
+	fmt.Fprintf(f, "- probes: %d\n- distinct regions: %d\n- largest region share: %.3f\n",
+		census.Probes, census.DistinctRegions, census.LargestShare)
+	fmt.Fprintf(f, "- same-region hypercube edge around probes: min %.3g / median %.3g / max %.3g\n",
+		census.MinEdge, census.MedianEdge, census.MaxEdge)
+	fmt.Printf("   census: %d regions over %d probes -> %s\n", census.DistinctRegions, census.Probes, path)
+	return nil
+}
+
+func runAblation(entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, seed int64) error {
+	rows, err := eval.AblateSolvers(entry.Model, xs, seed+60)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("ablation_%s_%s.md", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Solver ablation: %s / %s\n\n", ds, entry.Name)
+	fmt.Fprintln(f, "| Solver | Mean L1 | ms/instance | Failures |")
+	fmt.Fprintln(f, "|--------|---------|-------------|----------|")
+	for _, r := range rows {
+		fmt.Fprintf(f, "| %s | %.3g | %.1f | %d |\n", r.Solver, r.MeanL1, r.MeanMillis, r.Failures)
+	}
+	fmt.Printf("   ablation: wrote %s\n", path)
+	return nil
+}
+
+func runBoundary(entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, seed int64) error {
+	limit := xs
+	if len(limit) > 6 {
+		limit = limit[:6] // bisection is per-instance expensive
+	}
+	pts, err := eval.BoundaryProfile(entry.Model, limit, 1e-2, []int{0, 4, 8, 12}, seed+70)
+	if err != nil {
+		// Single-region models legitimately have no boundaries to profile.
+		fmt.Printf("   boundary: skipped for %s/%s (%v)\n", ds, entry.Name, err)
+		return nil
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("boundary_%s_%s.csv", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "distance,naive_l1,openapi_l1,openapi_iters,openapi_failed")
+	for _, p := range pts {
+		fmt.Fprintf(f, "%.6g,%.6g,%.6g,%d,%t\n",
+			p.Distance, p.NaiveL1, p.OpenAPIL1, p.OpenAPIIters, p.OpenAPIFailed)
+	}
+	fmt.Printf("   boundary: wrote %s (%d points)\n", path, len(pts))
+	return nil
+}
+
+func runQuality(entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, seed int64) error {
+	rows, err := eval.QualityGrid(entry.Model, xs, eval.HGrid, seed+40)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("fig567_%s_%s.md", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Figures 5-7 grid: %s / %s\n\n", ds, entry.Name)
+	fmt.Fprintln(f, "Fig. 5 = AvgRD column, Fig. 6 = WD columns, Fig. 7 = L1 columns.")
+	fmt.Fprintln(f)
+	if err := eval.WriteQuality(f, rows); err != nil {
+		return err
+	}
+	fmt.Printf("   fig5/6/7: wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,148 @@
+// Command openapi interprets one prediction of a PLM that is reachable only
+// through its API — the end-to-end workflow of the paper. It dials a served
+// model (or loads one locally for offline use), runs the OpenAPI algorithm,
+// and reports the exact decision features.
+//
+// Usage:
+//
+//	openapi -url http://127.0.0.1:8080 -instance x.json
+//	openapi -url http://127.0.0.1:8080 -instance x.json -class 3 -png out.png -width 16
+//	openapi -model plnn.json -type plnn -instance x.json -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/heatmap"
+	"repro/internal/mat"
+	"repro/internal/modelio"
+	"repro/internal/plm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("openapi: ")
+
+	var (
+		url       = flag.String("url", "", "base URL of a served model")
+		modelPath = flag.String("model", "", "local model file (alternative to -url)")
+		modelType = flag.String("type", "plnn", fmt.Sprintf("local model family: one of %v", modelio.Kinds()))
+		instance  = flag.String("instance", "", "JSON file holding the instance as a number array (required)")
+		class     = flag.Int("class", -1, "class to interpret (-1: the predicted class)")
+		topK      = flag.Int("top", 10, "how many top features to print")
+		iters     = flag.Int("max-iters", 100, "OpenAPI iteration budget")
+		edge      = flag.Float64("edge", 1.0, "initial hypercube edge length")
+		seed      = flag.Int64("seed", 1, "sampler seed")
+		pngPath   = flag.String("png", "", "write a diverging heatmap PNG here")
+		width     = flag.Int("width", 0, "image width for -png/-ascii (default: square)")
+		ascii     = flag.Bool("ascii", false, "print an ASCII heatmap")
+	)
+	flag.Parse()
+	if *instance == "" {
+		log.Fatal("-instance is required")
+	}
+
+	x, err := loadInstance(*instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, cleanup, err := connect(*url, *modelPath, *modelType)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	if len(x) != model.Dim() {
+		log.Fatalf("instance has %d features, model wants %d", len(x), model.Dim())
+	}
+	probs := model.Predict(x)
+	c := *class
+	if c < 0 {
+		c = probs.ArgMax()
+	}
+	fmt.Printf("model: %d features, %d classes\n", model.Dim(), model.Classes())
+	fmt.Printf("prediction: class %d with probability %.4f\n", probs.ArgMax(), probs[probs.ArgMax()])
+	fmt.Printf("interpreting class %d\n", c)
+
+	counted := api.NewCounter(model)
+	o := core.New(core.Config{MaxIterations: *iters, InitialEdge: *edge, Seed: *seed})
+	interp, err := o.Interpret(counted, x, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged in %d iteration(s), final edge %.3g, %d API queries\n",
+		interp.Iterations, interp.FinalEdge, counted.Count())
+
+	fmt.Printf("top %d decision features (positive supports the class):\n", *topK)
+	for _, f := range interp.TopK(*topK) {
+		fmt.Printf("  feature %4d: %+.6f\n", f.Index, f.Weight)
+	}
+
+	w := *width
+	if w <= 0 {
+		w = intSqrt(len(x))
+	}
+	if w > 0 && len(x)%w == 0 {
+		h := len(x) / w
+		if *ascii {
+			art, err := heatmap.ASCII(interp.Features, w, h, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("decision features (uppercase ramp = supports, lowercase = opposes):")
+			fmt.Print(art)
+		}
+		if *pngPath != "" {
+			img, err := heatmap.Diverging(interp.Features, w, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := heatmap.SavePNG(*pngPath, img); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("heatmap written to %s\n", *pngPath)
+		}
+	} else if *ascii || *pngPath != "" {
+		log.Printf("cannot render: %d features do not form a %d-wide image", len(x), w)
+	}
+}
+
+func loadInstance(path string) (mat.Vec, error) { return modelio.LoadInstance(path) }
+
+func connect(url, modelPath, modelType string) (plm.Model, func(), error) {
+	noop := func() {}
+	switch {
+	case url != "" && modelPath != "":
+		return nil, noop, fmt.Errorf("give either -url or -model, not both")
+	case url != "":
+		client, err := api.Dial(url, nil, 2)
+		if err != nil {
+			return nil, noop, err
+		}
+		return client, func() {
+			if err := client.Err(); err != nil {
+				log.Printf("transport errors during interpretation: %v", err)
+			}
+		}, nil
+	case modelPath != "":
+		model, err := modelio.Load(modelPath, modelType)
+		if err != nil {
+			return nil, noop, err
+		}
+		return model, noop, nil
+	}
+	return nil, noop, fmt.Errorf("one of -url or -model is required")
+}
+
+func intSqrt(n int) int {
+	for i := 1; i*i <= n; i++ {
+		if i*i == n {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+// Command plmserve loads a model saved by plmtrain and exposes it as an
+// HTTP prediction API — the "cloud service" the paper interprets. Only
+// probabilities leave the process; parameters stay hidden.
+//
+// Usage:
+//
+//	plmserve -model plnn.json -type plnn -addr :8080
+//	plmserve -model lmt.json -type lmt -addr 127.0.0.1:9000 -latency 5ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/modelio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plmserve: ")
+
+	var (
+		modelPath = flag.String("model", "", "model file saved by plmtrain (required)")
+		modelType = flag.String("type", "plnn", fmt.Sprintf("model family: one of %v", modelio.Kinds()))
+		addr      = flag.String("addr", ":8080", "listen address")
+		name      = flag.String("name", "", "advertised model name (default: file path)")
+		latency   = flag.Duration("latency", 0, "artificial per-request latency")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+	if *name == "" {
+		*name = *modelPath
+	}
+
+	model, err := modelio.Load(*modelPath, *modelType)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := api.NewServer(model, *name)
+	srv.Latency = *latency
+	fmt.Printf("serving %s (%d features, %d classes) on %s\n",
+		*name, model.Dim(), model.Classes(), *addr)
+	fmt.Println("endpoints: GET /meta, POST /predict, POST /batch, GET /stats")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

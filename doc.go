@@ -1,0 +1,25 @@
+// Package repro is an open-source reproduction of "Exact and Consistent
+// Interpretation of Piecewise Linear Models Hidden behind APIs: A Closed
+// Form Solution" (Cong, Chu, Wang, Hu, Pei — ICDE 2020).
+//
+// The package is a facade over the internal building blocks:
+//
+//   - internal/core — the OpenAPI interpreter (the paper's contribution)
+//   - internal/nn, internal/lmt — the two target PLM families
+//   - internal/openbox — white-box ground truth for PLNNs
+//   - internal/api — the HTTP "model behind an API" substrate
+//   - internal/interpret/... — the naive, ZOO, LIME and gradient baselines
+//   - internal/eval — metrics and per-figure experiment drivers
+//   - internal/dataset, internal/heatmap — data and visualization
+//
+// # Quick start
+//
+//	model := repro.MustTrainDemoPLNN(1)               // a small trained PLM
+//	x := model.Example()                              // an instance
+//	interp, err := repro.Interpret(model, x, model.Predict(x).ArgMax())
+//	// interp.Features now holds the *exact* decision features D_c,
+//	// recovered through Predict calls alone.
+//
+// See the examples/ directory for runnable programs and cmd/experiments for
+// the harness that regenerates every table and figure of the paper.
+package repro

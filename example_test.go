@@ -1,0 +1,80 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleInterpret shows the one-call path: exact decision features of a
+// model using only its prediction API.
+func ExampleInterpret() {
+	model := repro.MustTrainDemoPLNN(1)
+	x := model.Example()
+	c := model.Predict(x).ArgMax()
+
+	interp, err := repro.Interpret(model, x, c)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	truth, err := repro.GroundTruth(model, x, c)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("marked exact:", interp.Exact)
+	fmt.Println("matches white-box ground truth:", interp.Features.L1Dist(truth) < 1e-4)
+	// Output:
+	// marked exact: true
+	// matches white-box ground truth: true
+}
+
+// ExampleInterpretation_TopK ranks the recovered decision features.
+func ExampleInterpretation_TopK() {
+	model := repro.MustTrainDemoPLNN(2)
+	x := model.Example()
+	interp, err := repro.Interpret(model, x, model.Predict(x).ArgMax())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	top := interp.TopK(3)
+	fmt.Println("features ranked:", len(top) == 3)
+	fmt.Println("strongest first:", abs(top[0].Weight) >= abs(top[1].Weight) &&
+		abs(top[1].Weight) >= abs(top[2].Weight))
+	// Output:
+	// features ranked: true
+	// strongest first: true
+}
+
+// ExampleWrapBinaryScore interprets a service that exposes only a single
+// probability score.
+func ExampleWrapBinaryScore() {
+	model := repro.MustTrainDemoPLNNBinary(3)
+	scoreOnly := repro.WrapBinaryScore(func(x repro.Vec) float64 {
+		return model.Predict(x)[1] // all the API reveals
+	}, model.Dim())
+
+	x := model.Example()
+	interp, err := repro.Interpret(scoreOnly, x, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	truth, err := repro.GroundTruth(model, x, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("exact through a score-only API:", interp.Features.L1Dist(truth) < 1e-4)
+	// Output:
+	// exact through a score-only API: true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+// Imageapi: the paper's headline scenario end to end. A fashion classifier
+// runs behind a real HTTP prediction API in this process; the client side
+// knows nothing but the URL, yet recovers the exact decision features of a
+// prediction and renders them as a heatmap.
+//
+// Run with:
+//
+//	go run ./examples/imageapi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/heatmap"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Provider side: train a garment classifier and serve it. ---------
+	rng := rand.New(rand.NewSource(7))
+	data := dataset.SyntheticFashion(rng, dataset.SynthConfig{Size: 14, PerClass: 80})
+	net := nn.New(rng, data.Dim(), 48, 24, data.Classes())
+	if _, err := net.Train(rng, data.X, data.Y, nn.TrainConfig{Epochs: 20}); err != nil {
+		log.Fatal(err)
+	}
+	provider := &openbox.PLNN{Net: net}
+	server := httptest.NewServer(repro.ServeModel(provider, "fashion-clf-v1"))
+	defer server.Close()
+	fmt.Printf("provider: serving %q at %s (parameters never leave the server)\n",
+		"fashion-clf-v1", server.URL)
+
+	// --- Consumer side: only the URL is known from here on. --------------
+	remote, err := repro.DialModel(server.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer: connected to %s — %d features, %d classes\n",
+		remote.Name(), remote.Dim(), remote.Classes())
+
+	// Pick a test image the remote classifies confidently.
+	x := data.X[3]
+	probs := remote.Predict(x)
+	c := probs.ArgMax()
+	fmt.Printf("consumer: remote predicts %q with probability %.3f\n",
+		data.Names[c], probs[c])
+
+	counted := repro.CountQueries(remote)
+	interp, err := repro.Interpret(counted, x, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := remote.Err(); err != nil {
+		log.Fatalf("transport errors: %v", err)
+	}
+	fmt.Printf("consumer: OpenAPI used %d HTTP queries over %d iteration(s)\n",
+		counted.Count(), interp.Iterations)
+
+	// Render the instance and its decision features side by side.
+	imgArt, err := heatmap.ASCII(x, data.Width, data.Height, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dfArt, err := heatmap.ASCII(interp.Features, data.Width, data.Height, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninput image (left) vs decision features for %q (right;\nuppercase ramp supports the class, lowercase opposes):\n\n",
+		data.Names[c])
+	fmt.Print(heatmap.SideBySide([]string{imgArt, dfArt}, "   |   "))
+
+	// The provider can verify exactness — the consumer never could.
+	truth, err := repro.GroundTruth(provider, x, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprovider-side check: L1 distance to ground truth = %.3g\n",
+		interp.Features.L1Dist(truth))
+}

@@ -1,0 +1,89 @@
+// Quickstart: train a small piecewise linear model, hide it behind the
+// Model interface, and recover its exact decision features with OpenAPI —
+// then verify against the white-box ground truth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Train a demo PLNN on the synthetic digits dataset.
+	fmt.Println("training a small ReLU network on synthetic digits...")
+	model := repro.MustTrainDemoPLNN(1)
+
+	// 2. Pick an instance and see what the model predicts.
+	x := model.Example()
+	probs := model.Predict(x)
+	c := probs.ArgMax()
+	fmt.Printf("the model predicts class %d (%s) with probability %.3f\n",
+		c, model.Data().Names[c], probs[c])
+
+	// 3. Interpret the prediction using ONLY Predict calls — this is what
+	// OpenAPI can do against any cloud API.
+	counted := repro.CountQueries(model)
+	interp, err := repro.Interpret(counted, x, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OpenAPI converged in %d iteration(s) using %d API queries\n",
+		interp.Iterations, counted.Count())
+
+	// 4. Compare with the exact ground truth extracted from the parameters
+	// (something a real API consumer could never do).
+	truth, err := repro.GroundTruth(model, x, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L1 distance to white-box ground truth: %.3g\n",
+		interp.Features.L1Dist(truth))
+	fmt.Printf("cosine similarity to ground truth:     %.9f\n",
+		interp.Features.Cosine(truth))
+
+	// 5. Show the three most supportive and most opposing pixels.
+	top, bottom := 3, 3
+	fmt.Println("strongest decision features (pixel index: weight):")
+	printExtremes(interp.Features, top, bottom)
+}
+
+func printExtremes(w repro.Vec, top, bottom int) {
+	type fw struct {
+		i int
+		v float64
+	}
+	ranked := make([]fw, len(w))
+	for i, v := range w {
+		ranked[i] = fw{i, v}
+	}
+	// Selection sort of the extremes is plenty for a demo.
+	for k := 0; k < top; k++ {
+		best := k
+		for j := k; j < len(ranked); j++ {
+			if ranked[j].v > ranked[best].v {
+				best = j
+			}
+		}
+		ranked[k], ranked[best] = ranked[best], ranked[k]
+		fmt.Printf("  supports: pixel %4d  %+.4f\n", ranked[k].i, ranked[k].v)
+	}
+	for k := 0; k < bottom; k++ {
+		best := top
+		for j := top; j < len(ranked); j++ {
+			if ranked[j].v < ranked[best].v {
+				best = j
+			}
+		}
+		ranked[top], ranked[best] = ranked[best], ranked[top]
+		fmt.Printf("  opposes:  pixel %4d  %+.4f\n", ranked[top].i, ranked[top].v)
+		ranked = append(ranked[:top], ranked[top+1:]...)
+	}
+}

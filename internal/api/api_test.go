@@ -1,0 +1,143 @@
+package api
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func testModel(seed int64) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), 4, 6, 3)}
+}
+
+func TestCounterCounts(t *testing.T) {
+	m := testModel(1)
+	c := NewCounter(m)
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	if got := c.Predict(x); !got.EqualApprox(m.Predict(x), 0) {
+		t.Fatal("counter changed predictions")
+	}
+	c.Predict(x)
+	c.Predict(x)
+	if c.Count() != 3 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+	if c.Dim() != 4 || c.Classes() != 3 {
+		t.Fatal("metadata not forwarded")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(testModel(2))
+	x := mat.Vec{0, 0, 0, 0}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Predict(x)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != 800 {
+		t.Fatalf("Count = %d, want 800", c.Count())
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	m := testModel(3)
+	counter := NewCounter(m)
+	cache := NewCache(counter, 0)
+	x := mat.Vec{0.5, 0.5, 0.5, 0.5}
+	p1 := cache.Predict(x)
+	p2 := cache.Predict(x.Clone()) // equal value, different storage
+	if !p1.EqualApprox(p2, 0) {
+		t.Fatal("cache returned different answers")
+	}
+	if counter.Count() != 1 {
+		t.Fatalf("inner model called %d times, want 1", counter.Count())
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	// A different input misses.
+	cache.Predict(mat.Vec{0.1, 0.5, 0.5, 0.5})
+	if counter.Count() != 2 {
+		t.Fatal("distinct input should reach the model")
+	}
+}
+
+func TestCacheReturnsClones(t *testing.T) {
+	cache := NewCache(testModel(4), 0)
+	x := mat.Vec{0, 0, 0, 0}
+	p := cache.Predict(x)
+	p[0] = 42 // caller mutates its copy
+	if cache.Predict(x)[0] == 42 {
+		t.Fatal("cache leaked internal storage")
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	counter := NewCounter(testModel(5))
+	cache := NewCache(counter, 1)
+	cache.Predict(mat.Vec{1, 0, 0, 0})
+	cache.Predict(mat.Vec{0, 1, 0, 0}) // not stored: cache full
+	cache.Predict(mat.Vec{0, 1, 0, 0}) // must hit the model again
+	if counter.Count() != 3 {
+		t.Fatalf("bounded cache: model called %d times, want 3", counter.Count())
+	}
+}
+
+func TestFlakyInjectsFailures(t *testing.T) {
+	m := testModel(6)
+	f := NewFlaky(m, 1.0, rand.New(rand.NewSource(7)))
+	p := f.Predict(mat.Vec{0, 0, 0, 0})
+	want := 1.0 / 3
+	for _, v := range p {
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("always-flaky response = %v", p)
+		}
+	}
+	if f.Failures() != 1 {
+		t.Fatalf("Failures = %d", f.Failures())
+	}
+	healthy := NewFlaky(m, 0, rand.New(rand.NewSource(8)))
+	if !healthy.Predict(mat.Vec{0, 0, 0, 0}).EqualApprox(m.Predict(mat.Vec{0, 0, 0, 0}), 0) {
+		t.Fatal("rate 0 should never fail")
+	}
+	clamped := NewFlaky(m, 7, rand.New(rand.NewSource(9)))
+	if clamped.rate != 1 {
+		t.Fatalf("rate not clamped: %v", clamped.rate)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testModel(10)
+	if err := Validate(m, mat.Vec{0.1, 0.2, 0.3, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, mat.Vec{0.1}); err == nil {
+		t.Fatal("wrong probe length accepted")
+	}
+	if err := Validate(badModel{}, mat.Vec{0}); err == nil {
+		t.Fatal("non-probability model accepted")
+	}
+}
+
+type badModel struct{}
+
+func (badModel) Predict(mat.Vec) mat.Vec { return mat.Vec{0.9, 0.9} }
+func (badModel) Dim() int                { return 1 }
+func (badModel) Classes() int            { return 2 }

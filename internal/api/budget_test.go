@@ -1,0 +1,65 @@
+package api
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestBudgetPassesThroughUnderQuota(t *testing.T) {
+	m := testModel(40)
+	b := NewBudget(m, 5)
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < 5; i++ {
+		if !b.Predict(x).EqualApprox(m.Predict(x), 0) {
+			t.Fatal("under-quota response differs")
+		}
+	}
+	if b.Exhausted() {
+		t.Fatal("exactly-at-quota should not be exhausted")
+	}
+	if b.Used() != 5 || b.Remaining() != 0 {
+		t.Fatalf("Used=%d Remaining=%d", b.Used(), b.Remaining())
+	}
+}
+
+func TestBudgetDegradesOverQuota(t *testing.T) {
+	m := testModel(41)
+	b := NewBudget(m, 2)
+	x := mat.Vec{0, 0, 0, 0}
+	b.Predict(x)
+	b.Predict(x)
+	p := b.Predict(x) // over quota
+	for _, v := range p {
+		if v != 1.0/3 {
+			t.Fatalf("degraded response = %v", p)
+		}
+	}
+	if !b.Exhausted() {
+		t.Fatal("exhaustion not recorded")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	m := testModel(42)
+	b := NewBudget(m, 0)
+	x := mat.Vec{0, 0, 0, 0}
+	for i := 0; i < 50; i++ {
+		b.Predict(x)
+	}
+	if b.Exhausted() {
+		t.Fatal("unlimited budget exhausted")
+	}
+	if b.Remaining() != -1 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+	if b.Used() != 50 {
+		t.Fatalf("Used = %d", b.Used())
+	}
+	if b.Dim() != 4 || b.Classes() != 3 {
+		t.Fatal("metadata not forwarded")
+	}
+}

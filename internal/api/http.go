@@ -1,0 +1,301 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// The wire protocol is deliberately what a minimal prediction service looks
+// like:
+//
+//	GET  /meta     -> {"name":..., "dim":d, "classes":C}
+//	POST /predict  {"x":[...]}        -> {"probs":[...]}
+//	POST /batch    {"xs":[[...],..]}  -> {"probs":[[...],..]}
+//	GET  /stats    -> {"queries":n}
+//
+// Only probabilities cross the wire — never parameters — so the server side
+// is a faithful stand-in for the cloud APIs the paper targets.
+
+type metaResponse struct {
+	Name    string `json:"name"`
+	Dim     int    `json:"dim"`
+	Classes int    `json:"classes"`
+}
+
+type predictRequest struct {
+	X []float64 `json:"x"`
+}
+
+type predictResponse struct {
+	Probs []float64 `json:"probs"`
+}
+
+type batchRequest struct {
+	Xs [][]float64 `json:"xs"`
+}
+
+type batchResponse struct {
+	Probs [][]float64 `json:"probs"`
+}
+
+type statsResponse struct {
+	Queries int64 `json:"queries"`
+}
+
+// Server exposes a plm.Model over HTTP. It implements http.Handler.
+type Server struct {
+	model   plm.Model
+	name    string
+	mux     *http.ServeMux
+	queries atomic.Int64
+	// Latency, when positive, is added to every prediction request to
+	// simulate a slow remote.
+	Latency time.Duration
+}
+
+// NewServer wraps model as an HTTP prediction service.
+func NewServer(model plm.Model, name string) *Server {
+	s := &Server{model: model, name: name, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /meta", s.handleMeta)
+	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Queries returns the number of single predictions served (batch items
+// count individually).
+func (s *Server) Queries() int64 { return s.queries.Load() }
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, metaResponse{Name: s.name, Dim: s.model.Dim(), Classes: s.model.Classes()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{Queries: s.queries.Load()})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.X) != s.model.Dim() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("input length %d != %d", len(req.X), s.model.Dim()))
+		return
+	}
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	s.queries.Add(1)
+	probs := s.model.Predict(mat.Vec(req.X))
+	writeJSON(w, http.StatusOK, predictResponse{Probs: probs})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	out := batchResponse{Probs: make([][]float64, len(req.Xs))}
+	for i, x := range req.Xs {
+		if len(x) != s.model.Dim() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("batch item %d length %d != %d", i, len(x), s.model.Dim()))
+			return
+		}
+		s.queries.Add(1)
+		out.Probs[i] = s.model.Predict(mat.Vec(x))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func decodeBody(r *http.Request, dst any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("api: decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header are unrecoverable; best effort.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Client is an HTTP prediction client implementing plm.Model. Transport
+// errors are sticky (the bufio.Scanner pattern): Predict returns a uniform
+// distribution and records the error, and callers check Err when the
+// interpretation finishes. This keeps plm.Model's pure-math surface while
+// still surfacing failures.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+	meta    metaResponse
+	retries int
+
+	mu  sync.Mutex
+	err error
+}
+
+// Dial connects to an API server, fetches its metadata, and returns a
+// client. retries is the number of extra attempts per request (0 = none).
+func Dial(baseURL string, httpc *http.Client, retries int) (*Client, error) {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	c := &Client{baseURL: baseURL, httpc: httpc, retries: retries}
+	resp, err := httpc.Get(baseURL + "/meta")
+	if err != nil {
+		return nil, fmt.Errorf("api: dial %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("api: meta returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&c.meta); err != nil {
+		return nil, fmt.Errorf("api: decode meta: %w", err)
+	}
+	if c.meta.Dim <= 0 || c.meta.Classes < 2 {
+		return nil, fmt.Errorf("api: implausible meta %+v", c.meta)
+	}
+	return c, nil
+}
+
+// Name returns the remote model's advertised name.
+func (c *Client) Name() string { return c.meta.Name }
+
+// Dim returns the remote model's input dimensionality.
+func (c *Client) Dim() int { return c.meta.Dim }
+
+// Classes returns the remote model's class count.
+func (c *Client) Classes() int { return c.meta.Classes }
+
+// Err returns the first transport error encountered, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// ResetErr clears the sticky error.
+func (c *Client) ResetErr() {
+	c.mu.Lock()
+	c.err = nil
+	c.mu.Unlock()
+}
+
+func (c *Client) record(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) post(path string, body, dst any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("api: encode request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		resp, err := c.httpc.Post(c.baseURL+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+				lastErr = fmt.Errorf("api: %s returned %s: %s", path, resp.Status, bytes.TrimSpace(b))
+				return
+			}
+			lastErr = json.NewDecoder(resp.Body).Decode(dst)
+		}()
+		if lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// PredictErr performs one remote prediction, returning transport errors
+// directly.
+func (c *Client) PredictErr(x mat.Vec) (mat.Vec, error) {
+	var out predictResponse
+	if err := c.post("/predict", predictRequest{X: x}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Probs) != c.meta.Classes {
+		return nil, fmt.Errorf("api: server returned %d probabilities, want %d", len(out.Probs), c.meta.Classes)
+	}
+	return mat.Vec(out.Probs), nil
+}
+
+// Predict implements plm.Model with sticky error handling.
+func (c *Client) Predict(x mat.Vec) mat.Vec {
+	p, err := c.PredictErr(x)
+	if err != nil {
+		c.record(err)
+		u := make(mat.Vec, c.meta.Classes)
+		return u.Fill(1 / float64(c.meta.Classes))
+	}
+	return p
+}
+
+// PredictBatch performs one batched remote prediction.
+func (c *Client) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	req := batchRequest{Xs: make([][]float64, len(xs))}
+	for i, x := range xs {
+		req.Xs[i] = x
+	}
+	var out batchResponse
+	if err := c.post("/batch", req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Probs) != len(xs) {
+		return nil, fmt.Errorf("api: server returned %d batch items, want %d", len(out.Probs), len(xs))
+	}
+	res := make([]mat.Vec, len(out.Probs))
+	for i, p := range out.Probs {
+		if len(p) != c.meta.Classes {
+			return nil, fmt.Errorf("api: batch item %d has %d probabilities, want %d", i, len(p), c.meta.Classes)
+		}
+		res[i] = mat.Vec(p)
+	}
+	return res, nil
+}
+
+var _ plm.Model = (*Client)(nil)
+var _ plm.Model = (*Counter)(nil)
+var _ plm.Model = (*Cache)(nil)
+var _ plm.Model = (*Flaky)(nil)

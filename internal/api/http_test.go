@@ -1,0 +1,226 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(testModel(100), "test-model")
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestDialFetchesMeta(t *testing.T) {
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "test-model" || c.Dim() != 4 || c.Classes() != 3 {
+		t.Fatalf("meta = %s %d %d", c.Name(), c.Dim(), c.Classes())
+	}
+}
+
+func TestDialBadURL(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond}, 0); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}
+
+func TestRemotePredictMatchesLocal(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := testModel(100)
+	x := mat.Vec{0.1, -0.2, 0.3, 0.4}
+	got, err := c.PredictErr(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(local.Predict(x), 1e-12) {
+		t.Fatalf("remote %v vs local %v", got, local.Predict(x))
+	}
+	if srv.Queries() != 1 {
+		t.Fatalf("server counted %d queries", srv.Queries())
+	}
+	// Through the plm.Model interface too.
+	if !c.Predict(x).EqualApprox(local.Predict(x), 1e-12) {
+		t.Fatal("interface path differs")
+	}
+	if c.Err() != nil {
+		t.Fatalf("unexpected sticky error: %v", c.Err())
+	}
+}
+
+func TestRemoteBatch(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []mat.Vec{{0, 0, 0, 0}, {1, 1, 1, 1}, {0.5, 0, 0.5, 0}}
+	got, err := c.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := testModel(100)
+	for i, x := range xs {
+		if !got[i].EqualApprox(local.Predict(x), 1e-12) {
+			t.Fatalf("batch item %d differs", i)
+		}
+	}
+	if srv.Queries() != 3 {
+		t.Fatalf("batch should count per item, got %d", srv.Queries())
+	}
+}
+
+func TestServerRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictErr(mat.Vec{1, 2}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := c.PredictBatch([]mat.Vec{{1, 2}}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	// Raw malformed JSON.
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON -> %s", resp.Status)
+	}
+	// Unknown fields rejected.
+	resp, err = http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[0,0,0,0],"extra":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field -> %s", resp.Status)
+	}
+}
+
+func TestStickyErrorOnServerLoss(t *testing.T) {
+	srv := NewServer(testModel(100), "gone")
+	ts := httptest.NewServer(srv)
+	c, err := Dial(ts.URL, &http.Client{Timeout: 300 * time.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	p := c.Predict(mat.Vec{0, 0, 0, 0})
+	if len(p) != 3 {
+		t.Fatalf("fallback has %d entries", len(p))
+	}
+	if c.Err() == nil {
+		t.Fatal("sticky error not recorded")
+	}
+	c.ResetErr()
+	if c.Err() != nil {
+		t.Fatal("ResetErr failed")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Predict(mat.Vec{0, 0, 0, 0})
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats -> %s", resp.Status)
+	}
+}
+
+func TestValidateOverHTTP(t *testing.T) {
+	// End to end: the handshake validator works through the remote client.
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(c, mat.Vec{0.1, 0.2, 0.3, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSurvivesConcurrentClients(t *testing.T) {
+	// Interpreters hammer the service; predictions are read-only so the
+	// server must be race-free under parallel load (run with -race).
+	srv, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c, err := Dial(ts.URL, nil, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				x := mat.Vec{float64(i) / 20, 0.5, float64(seed) / 8, 0}
+				if _, err := c.PredictErr(x); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.Queries() != 8*20 {
+		t.Fatalf("served %d queries, want 160", srv.Queries())
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	// A proxy that fails the first attempt of every request path.
+	inner := NewServer(testModel(100), "flaky-remote")
+	var failNext bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/predict" {
+			failNext = !failNext
+			if failNext {
+				http.Error(w, "transient", http.StatusBadGateway)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+	c, err := Dial(proxy.URL, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictErr(mat.Vec{0, 0, 0, 0}); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+// Failure-injection tests: how OpenAPI behaves when the API misbehaves.
+
+func TestOpenAPICorruptedAPIDoesNotConverge(t *testing.T) {
+	// A flaky API that replaces half the responses with uniform noise makes
+	// the log-odds equations mutually inconsistent, so the consistency
+	// check must keep rejecting and the run must exhaust its budget —
+	// NOT return a confidently wrong answer.
+	model := plnnModel(50, 5, 8, 3)
+	flaky := api.NewFlaky(model, 0.5, rand.New(rand.NewSource(51)))
+	o := New(Config{MaxIterations: 8, Seed: 52})
+	rng := rand.New(rand.NewSource(53))
+	_, err := o.Interpret(flaky, randVec(rng, 5), 0)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if flaky.Failures() == 0 {
+		t.Fatal("fault injector never fired; test ineffective")
+	}
+}
+
+func TestOpenAPIFullyDegradedAPIGivesNullInterpretation(t *testing.T) {
+	// An API that always returns the uniform distribution *is* a valid PLM
+	// (the constant classifier with D_c = 0). OpenAPI should converge and
+	// report exactly that — all-zero decision features.
+	model := plnnModel(54, 4, 6, 3)
+	dead := api.NewFlaky(model, 1.0, rand.New(rand.NewSource(55)))
+	o := New(Config{Seed: 56})
+	rng := rand.New(rand.NewSource(57))
+	got, err := o.Interpret(dead, randVec(rng, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features.NormInf() > 1e-9 {
+		t.Fatalf("constant model should yield zero decision features, got %v", got.Features.NormInf())
+	}
+}
+
+func TestOpenAPISaturatedRegion(t *testing.T) {
+	// A model whose softmax is numerically saturated (probabilities hit 0
+	// exactly) exercises the log-odds floor. The recovered features cannot
+	// match the unobservable true weights, but the run must stay finite and
+	// NaN-free.
+	w := mat.FromRows(mat.Vec{2000, 0}, mat.Vec{-2000, 0})
+	net := nn.FromLayers(nn.Layer{W: w, B: mat.Vec{0, 0}})
+	model := &openbox.PLNN{Net: net}
+	o := New(Config{Seed: 58, MaxIterations: 10})
+	got, err := o.Interpret(model, mat.Vec{1, 0}, 0)
+	if err != nil {
+		// Saturation may legitimately prevent convergence; that is an
+		// acceptable, honest outcome.
+		if !errors.Is(err, ErrNoConvergence) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if got.Features.HasNaN() {
+		t.Fatal("saturated interpretation contains NaN/Inf")
+	}
+}
+
+// Ablation A3: the consistency tolerance is what separates "exact w.p. 1"
+// from "confidently wrong".
+
+func TestToleranceSweep(t *testing.T) {
+	// quadModel (softmax of a quadratic) is not a PLM: no linear system is
+	// ever truly consistent. A sane tolerance refuses to answer; an absurd
+	// tolerance accepts garbage on the first iteration. This documents why
+	// the check is load-bearing.
+	x := mat.Vec{0.3, -0.2}
+	strict := New(Config{MaxIterations: 5, Tolerance: 1e-8, Seed: 60})
+	if _, err := strict.Interpret(quadModel{}, x, 0); !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("strict tolerance accepted a non-PLM: %v", err)
+	}
+	sloppy := New(Config{MaxIterations: 5, Tolerance: 1e9, Seed: 61})
+	got, err := sloppy.Interpret(quadModel{}, x, 0)
+	if err != nil {
+		t.Fatalf("absurd tolerance should accept anything: %v", err)
+	}
+	if got.Iterations != 1 {
+		t.Fatalf("sloppy run took %d iterations, want immediate acceptance", got.Iterations)
+	}
+}
+
+func TestTolerancePreservesExactnessOnRealPLM(t *testing.T) {
+	// On a genuine PLM, tightening the tolerance by orders of magnitude
+	// must not change the answer (the true solution's residual is at
+	// round-off), only possibly the iteration count.
+	model := plnnModel(62, 4, 8, 3)
+	rng := rand.New(rand.NewSource(63))
+	x := randVec(rng, 4)
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth.DecisionFeatures(1)
+	for _, tol := range []float64{1e-6, 1e-9, 1e-12} {
+		o := New(Config{Tolerance: tol, Seed: 64})
+		got, err := o.Interpret(model, x, 1)
+		if err != nil {
+			t.Fatalf("tol %g: %v", tol, err)
+		}
+		if dist := got.Features.L1Dist(want); dist > 1e-4 {
+			t.Fatalf("tol %g: L1Dist %v", tol, dist)
+		}
+	}
+}
+
+func TestOpenAPIHighDimensional(t *testing.T) {
+	// A paper-shaped sanity check at a larger dimension: d = 100 (the small
+	// end of image scale) still converges and stays exact.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	model := plnnModel(65, 100, 64, 32, 10)
+	rng := rand.New(rand.NewSource(66))
+	x := randVec(rng, 100)
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := model.Predict(x).ArgMax()
+	o := New(Config{Seed: 67})
+	got, err := o.Interpret(model, x, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := got.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-3 {
+		t.Fatalf("d=100 L1Dist = %v", dist)
+	}
+}

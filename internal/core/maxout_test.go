@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+// OpenAPI is model-agnostic: it must be exact on the *other* PLM family the
+// paper names, MaxOut networks, without any change.
+
+func TestOpenAPIExactOnMaxout(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	model := &openbox.Maxout{Net: nn.NewMaxout(rng, 3, 5, 9, 6, 4)}
+	o := New(Config{Seed: 71})
+	for trial := 0; trial < 8; trial++ {
+		x := randVec(rng, 5)
+		truth, err := model.LocalAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.Predict(x).ArgMax()
+		got, err := o.Interpret(model, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist := got.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-5 {
+			t.Fatalf("MaxOut L1Dist = %v (trial %d)", dist, trial)
+		}
+	}
+}
+
+func TestOpenAPIMaxoutConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	model := &openbox.Maxout{Net: nn.NewMaxout(rng, 2, 4, 8, 3)}
+	o := New(Config{Seed: 73})
+	x := randVec(rng, 4)
+	var y mat.Vec
+	for {
+		y = x.Clone()
+		for i := range y {
+			y[i] += 1e-8 * rng.NormFloat64()
+		}
+		if model.RegionKey(x) == model.RegionKey(y) {
+			break
+		}
+		x = randVec(rng, 4)
+	}
+	c := model.Predict(x).ArgMax()
+	ix, err := o.Interpret(model, x, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iy, err := o.Interpret(model, y, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ix.Features.Cosine(iy.Features); cs < 1-1e-9 {
+		t.Fatalf("within-region cosine = %v", cs)
+	}
+}
+
+func TestOpenAPIExactOnLeakyReLU(t *testing.T) {
+	// The third member of the paper's PLM family sentence: Leaky/Parametric
+	// ReLU networks (He et al. [19]). OpenAPI must be exact on them too.
+	rng := rand.New(rand.NewSource(74))
+	net := nn.New(rng, 5, 9, 6, 3).SetLeak(0.1)
+	model := &openbox.PLNN{Net: net}
+	o := New(Config{Seed: 75})
+	for trial := 0; trial < 8; trial++ {
+		x := randVec(rng, 5)
+		truth, err := model.LocalAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: the extraction itself must match the network everywhere
+		// nearby, not just at x.
+		probe := x.Clone()
+		probe[0] += 1e-9
+		if model.RegionKey(probe) == model.RegionKey(x) {
+			if !truth.Logits(probe).EqualApprox(net.Logits(probe), 1e-8) {
+				t.Fatal("leaky extraction wrong inside region")
+			}
+		}
+		c := model.Predict(x).ArgMax()
+		got, err := o.Interpret(model, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist := got.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-5 {
+			t.Fatalf("leaky ReLU L1Dist = %v (trial %d)", dist, trial)
+		}
+	}
+}
+
+// Property: exactness over random MaxOut architectures.
+func TestPropertyOpenAPIExactOnRandomMaxouts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 3 + int(uint(seed)%3)
+		k := 2 + int(uint(seed)%2)
+		model := &openbox.Maxout{Net: nn.NewMaxout(rng, k, d, 6, 3)}
+		x := randVec(rng, d)
+		truth, err := model.LocalAt(x)
+		if err != nil {
+			return false
+		}
+		o := New(Config{RNG: rng})
+		got, err := o.Interpret(model, x, 0)
+		if err != nil {
+			return false
+		}
+		return got.Features.L1Dist(truth.DecisionFeatures(0)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package core implements OpenAPI, the paper's contribution: exact and
+// consistent interpretation of a piecewise linear model that is reachable
+// only through a prediction API.
+//
+// For an instance x0 and class pair (c, c'), the locally linear classifier
+// around x0 satisfies the log-odds identity
+//
+//	D_{c,c'}^T x + B_{c,c'} = ln(y_c / y_{c'})         (paper Eq. 2)
+//
+// for every x in the region. OpenAPI samples d+k points in a hypercube
+// around x0 (k = Config.ExtraChecks; the paper's Ω_{d+2} is k = 1), solves
+// the square system built from x0 and the first d samples, and accepts the
+// solution only when every held-out equation is consistent — which, by the
+// paper's Theorem 2, happens exactly when all points share x0's region
+// (with probability 1). On inconsistency — or on a numerically singular
+// draw, a probability-0 event under Lemma 1 — it divides the hypercube edge
+// by Config.ShrinkFactor and resamples (Algorithm 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+	"repro/internal/sample"
+)
+
+// Solver selects how Ω_{d+2} is solved and checked.
+type Solver int
+
+const (
+	// SolverSharedLU (default) factors the square coefficient matrix of the
+	// first d+1 equations once per sample set and reuses it for every class
+	// pair, checking the (d+2)-th equation's residual. This turns the
+	// paper's O(C·(d+2)^3) inner loop into O((d+2)^3 + C·(d+2)^2).
+	SolverSharedLU Solver = iota
+	// SolverSharedQR factors the full (d+2)x(d+1) system once per sample
+	// set with Householder QR and reads consistency off the least-squares
+	// residual. Same asymptotics as SolverSharedLU, different numerics.
+	SolverSharedQR
+	// SolverPerPairLU refactors the coefficient matrix for every class pair
+	// — the paper-literal O(C·(d+2)^3) formulation, kept for the ablation
+	// benchmarks.
+	SolverPerPairLU
+)
+
+// String returns the solver's name.
+func (s Solver) String() string {
+	switch s {
+	case SolverSharedLU:
+		return "shared-lu"
+	case SolverSharedQR:
+		return "shared-qr"
+	case SolverPerPairLU:
+		return "per-pair-lu"
+	}
+	return fmt.Sprintf("solver(%d)", int(s))
+}
+
+// Config tunes Algorithm 1. The zero value gives the paper's settings.
+type Config struct {
+	// MaxIterations is the paper's m: the cap on resample-and-halve rounds.
+	// The paper uses 100 and observes convergence within 20. Default 100.
+	MaxIterations int
+	// InitialEdge is the starting hypercube edge length r. Default 1.0.
+	InitialEdge float64
+	// Tolerance bounds the accepted residual of each consistency equation,
+	// relative to the magnitude of the log-odds involved. Default 1e-9.
+	// The paper works in exact arithmetic where any nonzero residual means
+	// inconsistency; in float64 the tolerance separates rounding error
+	// (accept) from region mixing (reject). 1e-9 sits about three orders
+	// above observed round-off at image dimensionalities while rejecting
+	// mixes reliably; see DESIGN.md §5.
+	Tolerance float64
+	// ExtraChecks is the number of held-out verification equations. The
+	// paper uses one (Ω has d+2 rows); every additional check multiplies
+	// the false-accept probability of a mixed sample set by another
+	// near-zero factor for one extra query per iteration. Default 2.
+	ExtraChecks int
+	// ShrinkFactor divides the hypercube edge after an inconsistent round.
+	// The paper halves (2.0, the default); larger factors reach small
+	// regions in fewer rounds at the cost of overshooting, smaller factors
+	// shrink gently. Must exceed 1.
+	ShrinkFactor float64
+	// Solver selects the linear-algebra strategy. Default SolverSharedLU.
+	Solver Solver
+	// Seed seeds the sampler when RNG is nil. Ignored otherwise.
+	Seed int64
+	// RNG, when non-nil, supplies all randomness.
+	RNG *rand.Rand
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.InitialEdge <= 0 {
+		c.InitialEdge = 1.0
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-9
+	}
+	if c.ExtraChecks <= 0 {
+		c.ExtraChecks = 2
+	}
+	if c.ShrinkFactor <= 1 {
+		c.ShrinkFactor = 2
+	}
+	if c.RNG == nil {
+		c.RNG = rand.New(rand.NewSource(c.Seed))
+	}
+}
+
+// ErrNoConvergence is returned when MaxIterations rounds never produced a
+// consistent system — per the paper this has probability 0 unless x0 sits
+// exactly on a region boundary.
+var ErrNoConvergence = errors.New("core: OpenAPI did not converge within the iteration budget")
+
+// OpenAPI is the interpreter. Create it with New; the zero value works too
+// (defaults are applied on first use).
+type OpenAPI struct {
+	cfg Config
+}
+
+// New returns an OpenAPI interpreter with the given configuration.
+func New(cfg Config) *OpenAPI {
+	cfg.setDefaults()
+	return &OpenAPI{cfg: cfg}
+}
+
+var _ plm.Interpreter = (*OpenAPI)(nil)
+
+// Name implements plm.Interpreter.
+func (o *OpenAPI) Name() string { return "OpenAPI" }
+
+// Interpret recovers the exact decision features D_c of model at x0 for
+// class c, using only Predict calls.
+func (o *OpenAPI) Interpret(model plm.Model, x0 mat.Vec, c int) (*plm.Interpretation, error) {
+	o.cfg.setDefaults()
+	d := model.Dim()
+	C := model.Classes()
+	if len(x0) != d {
+		return nil, fmt.Errorf("core: instance length %d != model dim %d", len(x0), d)
+	}
+	if c < 0 || c >= C {
+		return nil, fmt.Errorf("core: class %d out of range [0,%d)", c, C)
+	}
+	if C < 2 {
+		return nil, fmt.Errorf("core: model has %d classes, need at least 2", C)
+	}
+
+	y0 := model.Predict(x0)
+	queries := 1
+	r := o.cfg.InitialEdge
+
+	for iter := 1; iter <= o.cfg.MaxIterations; iter++ {
+		cube := sample.NewHypercube(x0, r)
+		pts := cube.SampleN(o.cfg.RNG, d+o.cfg.ExtraChecks)
+		// One batch round trip when the API supports it, per-point probes
+		// otherwise; either way each point costs one query.
+		ys := plm.PredictAll(model, pts)
+		queries += len(pts)
+
+		pairs, ok := o.solveAll(x0, y0, pts, ys, c, C)
+		if !ok {
+			r /= o.cfg.ShrinkFactor
+			continue
+		}
+		features := assembleDc(pairs, c, C, d)
+		biases := make([]float64, C)
+		diffs := make([]mat.Vec, C)
+		for cp, pr := range pairs {
+			if pr == nil {
+				continue
+			}
+			diffs[cp] = pr.D
+			biases[cp] = pr.B
+		}
+		return &plm.Interpretation{
+			Class:      c,
+			Features:   features,
+			PairDiffs:  diffs,
+			Biases:     biases,
+			Samples:    pts,
+			Queries:    queries,
+			Iterations: iter,
+			FinalEdge:  r,
+			Exact:      true,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w (instance may lie on a region boundary)", ErrNoConvergence)
+}
+
+// pairSolution is one recovered core-parameter tuple.
+type pairSolution struct {
+	D mat.Vec
+	B float64
+}
+
+// solveAll recovers (D_{c,c'}, B_{c,c'}) for every c' ≠ c from one sample
+// set, or reports inconsistency. pts holds d + ExtraChecks points: x0 and
+// the first d form the square system, the tail are held-out verification
+// equations.
+func (o *OpenAPI) solveAll(x0 mat.Vec, y0 mat.Vec, pts []mat.Vec, ys []mat.Vec, c, C int) ([]*pairSolution, bool) {
+	d := len(x0)
+	eqX := make([]mat.Vec, 0, len(pts)+1)
+	eqX = append(eqX, x0)
+	eqX = append(eqX, pts...)
+	eqY := make([]mat.Vec, 0, len(ys)+1)
+	eqY = append(eqY, y0)
+	eqY = append(eqY, ys...)
+
+	rhsFor := func(cp int) mat.Vec {
+		rhs := make(mat.Vec, len(eqX))
+		for i := range eqX {
+			rhs[i] = plm.LogOdds(eqY[i], c, cp)
+		}
+		return rhs
+	}
+	extras := eqX[d+1:] // verification points
+
+	switch o.cfg.Solver {
+	case SolverSharedQR:
+		full := designMatrix(eqX) // (d+1+k) x (d+1)
+		qr, err := mat.FactorQR(full)
+		if err != nil {
+			return nil, false
+		}
+		out := make([]*pairSolution, C)
+		for cp := 0; cp < C; cp++ {
+			if cp == c {
+				continue
+			}
+			rhs := rhsFor(cp)
+			res, err := qr.ResidualNorm(rhs)
+			if err != nil || res > o.cfg.Tolerance*(1+rhs.NormInf()) {
+				return nil, false
+			}
+			beta, err := qr.SolveVec(rhs)
+			if err != nil || mat.Vec(beta).HasNaN() {
+				return nil, false
+			}
+			out[cp] = &pairSolution{D: beta[1:], B: beta[0]}
+		}
+		return out, true
+
+	case SolverPerPairLU:
+		square := designMatrix(eqX[:d+1])
+		out := make([]*pairSolution, C)
+		for cp := 0; cp < C; cp++ {
+			if cp == c {
+				continue
+			}
+			// Paper-literal: factor anew for every pair.
+			lu, err := mat.Factor(square)
+			if err != nil {
+				return nil, false
+			}
+			sol, ok := o.solveAndCheck(lu, rhsFor(cp), extras)
+			if !ok {
+				return nil, false
+			}
+			out[cp] = sol
+		}
+		return out, true
+
+	default: // SolverSharedLU
+		square := designMatrix(eqX[:d+1])
+		lu, err := mat.Factor(square)
+		if err != nil {
+			return nil, false
+		}
+		out := make([]*pairSolution, C)
+		for cp := 0; cp < C; cp++ {
+			if cp == c {
+				continue
+			}
+			sol, ok := o.solveAndCheck(lu, rhsFor(cp), extras)
+			if !ok {
+				return nil, false
+			}
+			out[cp] = sol
+		}
+		return out, true
+	}
+}
+
+// solveAndCheck solves the square system and verifies every held-out
+// consistency equation: extras[i] must satisfy the solution with right-hand
+// side rhs[n+i].
+func (o *OpenAPI) solveAndCheck(lu *mat.LU, rhs mat.Vec, extras []mat.Vec) (*pairSolution, bool) {
+	n := lu.N() // d+1
+	beta, err := lu.SolveVec(rhs[:n])
+	if err != nil || mat.Vec(beta).HasNaN() {
+		return nil, false
+	}
+	dvec := mat.Vec(beta[1:])
+	for i, extra := range extras {
+		pred := beta[0] + dvec.Dot(extra)
+		want := rhs[n+i]
+		if math.Abs(pred-want) > o.cfg.Tolerance*(1+math.Abs(want)+rhs[:n].NormInf()) {
+			return nil, false
+		}
+	}
+	return &pairSolution{D: beta[1:], B: beta[0]}, true
+}
+
+// designMatrix stacks rows [1, x_i...] — the paper's coefficient matrix A.
+func designMatrix(xs []mat.Vec) *mat.Dense {
+	d := len(xs[0])
+	m := mat.NewDense(len(xs), d+1)
+	for i, x := range xs {
+		row := m.RawRow(i)
+		row[0] = 1
+		copy(row[1:], x)
+	}
+	return m
+}
+
+// assembleDc averages the recovered pair differences into D_c (Eq. 1).
+func assembleDc(pairs []*pairSolution, c, C, d int) mat.Vec {
+	out := mat.NewVec(d)
+	for cp, pr := range pairs {
+		if cp == c || pr == nil {
+			continue
+		}
+		out.AddInPlace(pr.D)
+	}
+	return out.ScaleInPlace(1 / float64(C-1))
+}
+
+// InterpretAll recovers D_c for every class from a single converged sample
+// set by solving only C−1 systems against a reference class and differencing
+// (W_c − W_{c'} = (W_c − W_ref) − (W_{c'} − W_ref)). It returns one
+// Interpretation per class, all sharing the same query cost.
+func (o *OpenAPI) InterpretAll(model plm.Model, x0 mat.Vec) ([]*plm.Interpretation, error) {
+	o.cfg.setDefaults()
+	d := model.Dim()
+	C := model.Classes()
+	if len(x0) != d {
+		return nil, fmt.Errorf("core: instance length %d != model dim %d", len(x0), d)
+	}
+	if C < 2 {
+		return nil, fmt.Errorf("core: model has %d classes, need at least 2", C)
+	}
+	// Reference class 0: recover β_c for pairs (c, 0), c = 1..C-1.
+	ref, err := o.Interpret(model, x0, 0)
+	if err != nil {
+		return nil, err
+	}
+	// β_c relative to class 0 is -D_{0,c} (antisymmetry).
+	rel := make([]mat.Vec, C) // rel[c] = W_c − W_0
+	relB := make([]float64, C)
+	rel[0] = mat.NewVec(d)
+	for cp := 1; cp < C; cp++ {
+		if ref.PairDiffs[cp] == nil {
+			return nil, fmt.Errorf("core: missing pair solution for class %d", cp)
+		}
+		rel[cp] = ref.PairDiffs[cp].Scale(-1)
+		relB[cp] = -ref.Biases[cp]
+	}
+	out := make([]*plm.Interpretation, C)
+	for c := 0; c < C; c++ {
+		diffs := make([]mat.Vec, C)
+		biases := make([]float64, C)
+		features := mat.NewVec(d)
+		for cp := 0; cp < C; cp++ {
+			if cp == c {
+				continue
+			}
+			dcc := rel[c].Sub(rel[cp])
+			diffs[cp] = dcc
+			biases[cp] = relB[c] - relB[cp]
+			features.AddInPlace(dcc)
+		}
+		features.ScaleInPlace(1 / float64(C-1))
+		out[c] = &plm.Interpretation{
+			Class:      c,
+			Features:   features,
+			PairDiffs:  diffs,
+			Biases:     biases,
+			Queries:    ref.Queries,
+			Iterations: ref.Iterations,
+			FinalEdge:  ref.FinalEdge,
+			Exact:      true,
+		}
+	}
+	return out, nil
+}

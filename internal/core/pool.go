@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// Pool interprets many instances concurrently. A single OpenAPI value is
+// not safe for concurrent use (it owns one RNG stream), so the pool keeps
+// one interpreter per worker, seeded deterministically from the base
+// configuration: results are reproducible for a fixed worker count.
+type Pool struct {
+	workers []*OpenAPI
+}
+
+// NewPool builds a pool of n workers derived from cfg; worker i uses seed
+// cfg.Seed + i. It panics if n <= 0. A caller-supplied cfg.RNG is ignored —
+// shared RNG state is exactly what the pool exists to avoid.
+func NewPool(cfg Config, n int) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: pool size %d", n))
+	}
+	p := &Pool{workers: make([]*OpenAPI, n)}
+	for i := range p.workers {
+		wcfg := cfg
+		wcfg.RNG = nil
+		wcfg.Seed = cfg.Seed + int64(i)
+		p.workers[i] = New(wcfg)
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Result pairs one instance's interpretation with its slot and any error.
+type Result struct {
+	Index  int
+	Interp *plm.Interpretation
+	Err    error
+}
+
+// InterpretMany explains model's prediction on every instance for its
+// predicted class, fanning the work across the pool. The returned slice is
+// ordered like xs; failed instances carry their error.
+func (p *Pool) InterpretMany(model plm.Model, xs []mat.Vec) []Result {
+	results := make([]Result, len(xs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := range p.workers {
+		wg.Add(1)
+		go func(o *OpenAPI) {
+			defer wg.Done()
+			for i := range jobs {
+				c := model.Predict(xs[i]).ArgMax()
+				interp, err := o.Interpret(model, xs[i], c)
+				results[i] = Result{Index: i, Interp: interp, Err: err}
+			}
+		}(p.workers[w])
+	}
+	for i := range xs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

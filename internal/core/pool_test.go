@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/mat"
+)
+
+func TestPoolInterpretsAllInstances(t *testing.T) {
+	model := plnnModel(80, 5, 8, 3)
+	pool := NewPool(Config{Seed: 81}, 4)
+	if pool.Size() != 4 {
+		t.Fatalf("Size = %d", pool.Size())
+	}
+	rng := rand.New(rand.NewSource(82))
+	xs := make([]mat.Vec, 12)
+	for i := range xs {
+		xs[i] = randVec(rng, 5)
+	}
+	results := pool.InterpretMany(model, xs)
+	if len(results) != len(xs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("instance %d failed: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		truth, err := model.LocalAt(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := r.Interp.Class
+		if dist := r.Interp.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-4 {
+			t.Fatalf("instance %d: L1Dist %v", i, dist)
+		}
+	}
+}
+
+func TestPoolSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(Config{}, 0)
+}
+
+func TestPoolConcurrentModelAccessIsCounted(t *testing.T) {
+	// The counter is concurrency-safe; totals must match the sum of the
+	// reported per-instance query counts.
+	model := plnnModel(83, 4, 6, 2)
+	counter := api.NewCounter(model)
+	pool := NewPool(Config{Seed: 84}, 3)
+	rng := rand.New(rand.NewSource(85))
+	xs := make([]mat.Vec, 9)
+	for i := range xs {
+		xs[i] = randVec(rng, 4)
+	}
+	results := pool.InterpretMany(counter, xs)
+	var want int64
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want += int64(r.Interp.Queries)
+	}
+	want += int64(len(xs)) // the per-instance argmax Predict in InterpretMany
+	if counter.Count() != want {
+		t.Fatalf("counter %d != sum of reported queries %d", counter.Count(), want)
+	}
+}
+
+func TestPoolEmptyInput(t *testing.T) {
+	model := plnnModel(86, 3, 4, 2)
+	pool := NewPool(Config{Seed: 87}, 2)
+	if got := pool.InterpretMany(model, nil); len(got) != 0 {
+		t.Fatalf("got %d results for empty input", len(got))
+	}
+}

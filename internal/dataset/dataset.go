@@ -1,0 +1,135 @@
+// Package dataset supplies the data substrate of the reproduction. The
+// paper evaluates on MNIST and Fashion-MNIST; since this build is offline,
+// the package generates *synthetic* 28x28 gray-scale datasets with the same
+// shape (10 classes, 784 features, values in [0,1]) from parametric class
+// templates, and also implements the real IDX binary codec so genuine MNIST
+// files can be dropped in unchanged. See DESIGN.md §4 for why the
+// substitution preserves the behaviour the experiments measure.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Dataset is a labeled collection of fixed-size gray-scale images flattened
+// to feature vectors with pixel values normalized to [0, 1].
+type Dataset struct {
+	Name   string
+	Width  int
+	Height int
+	X      []mat.Vec // len n, each Width*Height
+	Y      []int     // len n, class labels
+	Names  []string  // class names, len = number of classes
+}
+
+// Dim returns the feature dimensionality (Width*Height).
+func (d *Dataset) Dim() int { return d.Width * d.Height }
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Classes returns the number of classes.
+func (d *Dataset) Classes() int { return len(d.Names) }
+
+// Validate checks internal consistency and value ranges.
+func (d *Dataset) Validate() error {
+	if d.Width <= 0 || d.Height <= 0 {
+		return fmt.Errorf("dataset %s: invalid size %dx%d", d.Name, d.Width, d.Height)
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset %s: %d images vs %d labels", d.Name, len(d.X), len(d.Y))
+	}
+	if len(d.Names) < 2 {
+		return fmt.Errorf("dataset %s: needs at least 2 classes, got %d", d.Name, len(d.Names))
+	}
+	dim := d.Dim()
+	for i, x := range d.X {
+		if len(x) != dim {
+			return fmt.Errorf("dataset %s: image %d has %d pixels, want %d", d.Name, i, len(x), dim)
+		}
+		for j, v := range x {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("dataset %s: image %d pixel %d = %v outside [0,1]", d.Name, i, j, v)
+			}
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= len(d.Names) {
+			return fmt.Errorf("dataset %s: label %d of image %d out of range", d.Name, y, i)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test halves with nTest
+// instances held out, after a seeded shuffle. It panics if nTest is out of
+// range.
+func (d *Dataset) Split(rng *rand.Rand, nTest int) (train, test *Dataset) {
+	if nTest < 0 || nTest > d.Len() {
+		panic(fmt.Sprintf("dataset: nTest %d out of range [0,%d]", nTest, d.Len()))
+	}
+	order := rng.Perm(d.Len())
+	pick := func(ids []int, name string) *Dataset {
+		out := &Dataset{Name: name, Width: d.Width, Height: d.Height, Names: d.Names}
+		out.X = make([]mat.Vec, len(ids))
+		out.Y = make([]int, len(ids))
+		for i, id := range ids {
+			out.X[i] = d.X[id]
+			out.Y[i] = d.Y[id]
+		}
+		return out
+	}
+	test = pick(order[:nTest], d.Name+"-test")
+	train = pick(order[nTest:], d.Name+"-train")
+	return train, test
+}
+
+// Subset returns a view (shared image storage) of the given indices.
+func (d *Dataset) Subset(ids []int, name string) *Dataset {
+	out := &Dataset{Name: name, Width: d.Width, Height: d.Height, Names: d.Names}
+	out.X = make([]mat.Vec, len(ids))
+	out.Y = make([]int, len(ids))
+	for i, id := range ids {
+		out.X[i] = d.X[id]
+		out.Y[i] = d.Y[id]
+	}
+	return out
+}
+
+// ByClass returns the indices of every instance of class c.
+func (d *Dataset) ByClass(c int) []int {
+	var out []int
+	for i, y := range d.Y {
+		if y == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ClassMean returns the pixelwise mean image of class c — the "averaged
+// images" in the first row of the paper's Figure 2. It returns an error if
+// the class is empty.
+func (d *Dataset) ClassMean(c int) (mat.Vec, error) {
+	ids := d.ByClass(c)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("dataset %s: class %d is empty", d.Name, c)
+	}
+	sum := mat.NewVec(d.Dim())
+	for _, id := range ids {
+		sum.AddInPlace(d.X[id])
+	}
+	return sum.ScaleInPlace(1 / float64(len(ids))), nil
+}
+
+// ClassCounts returns the per-class instance counts.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes())
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}

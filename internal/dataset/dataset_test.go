@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func tinyDataset() *Dataset {
+	return &Dataset{
+		Name:   "tiny",
+		Width:  2,
+		Height: 1,
+		X:      []mat.Vec{{0, 1}, {1, 0}, {0.5, 0.5}, {0.2, 0.8}},
+		Y:      []int{0, 1, 0, 1},
+		Names:  []string{"a", "b"},
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := tinyDataset().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := []func(*Dataset){
+		func(d *Dataset) { d.Width = 0 },
+		func(d *Dataset) { d.Y = d.Y[:1] },
+		func(d *Dataset) { d.Names = d.Names[:1] },
+		func(d *Dataset) { d.X[0] = mat.Vec{1} },
+		func(d *Dataset) { d.X[0][0] = 2 },
+		func(d *Dataset) { d.X[0][0] = -0.5 },
+		func(d *Dataset) { d.Y[0] = 9 },
+	}
+	for i, mutate := range cases {
+		d := tinyDataset()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Fatalf("case %d: bad dataset accepted", i)
+		}
+	}
+}
+
+func TestSplitSizesAndDisjointness(t *testing.T) {
+	d := tinyDataset()
+	rng := rand.New(rand.NewSource(1))
+	train, test := d.Split(rng, 1)
+	if train.Len() != 3 || test.Len() != 1 {
+		t.Fatalf("sizes = %d/%d", train.Len(), test.Len())
+	}
+	if train.Dim() != d.Dim() || test.Classes() != d.Classes() {
+		t.Fatal("metadata lost in split")
+	}
+	// Union of the splits covers the original.
+	total := train.Len() + test.Len()
+	if total != d.Len() {
+		t.Fatalf("split covers %d of %d", total, d.Len())
+	}
+}
+
+func TestSplitPanicsOnBadCount(t *testing.T) {
+	d := tinyDataset()
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Split(rng, 99)
+}
+
+func TestSubsetAndByClass(t *testing.T) {
+	d := tinyDataset()
+	ids := d.ByClass(0)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("ByClass(0) = %v", ids)
+	}
+	sub := d.Subset(ids, "zeros")
+	if sub.Len() != 2 || sub.Y[0] != 0 || sub.Y[1] != 0 {
+		t.Fatalf("Subset = %+v", sub)
+	}
+}
+
+func TestClassMean(t *testing.T) {
+	d := tinyDataset()
+	m, err := d.ClassMean(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EqualApprox(mat.Vec{0.25, 0.75}, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	empty := tinyDataset()
+	empty.Y = []int{1, 1, 1, 1}
+	if _, err := empty.ClassMean(0); err == nil {
+		t.Fatal("empty class accepted")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	got := tinyDataset().ClassCounts()
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("counts = %v", got)
+	}
+}

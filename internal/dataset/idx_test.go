@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDXRoundTripInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := SyntheticDigits(rng, SynthConfig{Size: 8, PerClass: 3})
+
+	var imgBuf, lblBuf bytes.Buffer
+	if err := WriteIDXImages(&imgBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&lblBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	imgs, w, h, err := ReadIDXImages(&imgBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 8 || h != 8 || len(imgs) != d.Len() {
+		t.Fatalf("decoded %d images of %dx%d", len(imgs), w, h)
+	}
+	labels, err := ReadIDXLabels(&lblBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if labels[i] != d.Y[i] {
+			t.Fatalf("label %d: %d != %d", i, labels[i], d.Y[i])
+		}
+	}
+	// Pixels survive the uint8 quantization within 1/255.
+	for i := range imgs {
+		for j := range imgs[i] {
+			if diff := imgs[i][j] - d.X[i][j]; diff > 1.0/255+1e-9 || diff < -1.0/255-1e-9 {
+				t.Fatalf("image %d pixel %d: %v vs %v", i, j, imgs[i][j], d.X[i][j])
+			}
+		}
+	}
+}
+
+func TestIDXFileRoundTripPlainAndGzip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := SyntheticFashion(rng, SynthConfig{Size: 6, PerClass: 2})
+	dir := t.TempDir()
+	cases := []struct{ img, lbl string }{
+		{filepath.Join(dir, "img.idx"), filepath.Join(dir, "lbl.idx")},
+		{filepath.Join(dir, "img.idx.gz"), filepath.Join(dir, "lbl.idx.gz")},
+	}
+	for _, c := range cases {
+		if err := SaveIDX(d, c.img, c.lbl); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadIDX(c.img, c.lbl, "reload", d.Names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Len() != d.Len() || loaded.Dim() != d.Dim() {
+			t.Fatalf("loaded %d x %d", loaded.Len(), loaded.Dim())
+		}
+		for i := range loaded.Y {
+			if loaded.Y[i] != d.Y[i] {
+				t.Fatalf("label mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestReadIDXRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 0, 8, 99, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 42})
+	if _, _, _, err := ReadIDXImages(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	lbl := bytes.NewBuffer([]byte{0, 0, 8, 99, 0, 0, 0, 1, 7})
+	if _, err := ReadIDXLabels(lbl); err == nil {
+		t.Fatal("bad label magic accepted")
+	}
+}
+
+func TestReadIDXTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(3))
+	d := SyntheticDigits(rng, SynthConfig{Size: 6, PerClass: 1})
+	if err := WriteIDXImages(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewBuffer(buf.Bytes()[:buf.Len()/2])
+	if _, _, _, err := ReadIDXImages(trunc); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestWriteIDXLabelsRejectsWideLabels(t *testing.T) {
+	d := tinyDataset()
+	d.Y[0] = 300
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, d); err == nil {
+		t.Fatal("label > 255 accepted")
+	}
+}
+
+// Property: arbitrary [0,1] pixel data and labels survive the IDX round
+// trip within uint8 quantization error.
+func TestPropertyIDXRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(n8, side8, classes8 uint8) bool {
+		n := int(n8%6) + 1
+		side := int(side8%5) + 2
+		classes := int(classes8%8) + 2
+		d := &Dataset{
+			Name: "prop", Width: side, Height: side,
+			Names: make([]string, classes),
+		}
+		for c := range d.Names {
+			d.Names[c] = string(rune('a' + c))
+		}
+		for i := 0; i < n; i++ {
+			img := make([]float64, side*side)
+			for j := range img {
+				img[j] = rng.Float64()
+			}
+			d.X = append(d.X, img)
+			d.Y = append(d.Y, rng.Intn(classes))
+		}
+		var imgBuf, lblBuf bytes.Buffer
+		if err := WriteIDXImages(&imgBuf, d); err != nil {
+			return false
+		}
+		if err := WriteIDXLabels(&lblBuf, d); err != nil {
+			return false
+		}
+		imgs, w, h, err := ReadIDXImages(&imgBuf)
+		if err != nil || w != side || h != side || len(imgs) != n {
+			return false
+		}
+		labels, err := ReadIDXLabels(&lblBuf)
+		if err != nil {
+			return false
+		}
+		for i := range imgs {
+			if labels[i] != d.Y[i] {
+				return false
+			}
+			for j := range imgs[i] {
+				diff := imgs[i][j] - d.X[i][j]
+				if diff > 1.0/255+1e-9 || diff < -1.0/255-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIDXMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadIDX(filepath.Join(dir, "a"), filepath.Join(dir, "b"), "x", []string{"a", "b"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

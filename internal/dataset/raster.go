@@ -1,0 +1,98 @@
+package dataset
+
+import "math"
+
+// canvas is a tiny anti-alias-free gray-scale rasterizer used by the
+// synthetic generators: enough to draw thick strokes, outlines and filled
+// boxes that give each class a distinctive, learnable silhouette.
+type canvas struct {
+	w, h int
+	pix  []float64 // row-major, values clamped to [0,1]
+}
+
+func newCanvas(w, h int) *canvas {
+	return &canvas{w: w, h: h, pix: make([]float64, w*h)}
+}
+
+func (c *canvas) set(x, y int, v float64) {
+	if x < 0 || x >= c.w || y < 0 || y >= c.h {
+		return
+	}
+	if v > c.pix[y*c.w+x] {
+		if v > 1 {
+			v = 1
+		}
+		c.pix[y*c.w+x] = v
+	}
+}
+
+// disc stamps a filled disc of the given radius and intensity.
+func (c *canvas) disc(cx, cy, r, v float64) {
+	lo := int(math.Floor(-r))
+	hi := int(math.Ceil(r))
+	for dy := lo; dy <= hi; dy++ {
+		for dx := lo; dx <= hi; dx++ {
+			if float64(dx*dx+dy*dy) <= r*r {
+				c.set(int(math.Round(cx))+dx, int(math.Round(cy))+dy, v)
+			}
+		}
+	}
+}
+
+// line draws a thick segment from (x0,y0) to (x1,y1) by stamping discs.
+func (c *canvas) line(x0, y0, x1, y1, thickness, v float64) {
+	dx, dy := x1-x0, y1-y0
+	dist := math.Hypot(dx, dy)
+	steps := int(dist*2) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		c.disc(x0+t*dx, y0+t*dy, thickness/2, v)
+	}
+}
+
+// ellipse draws an elliptical outline centred at (cx,cy) with radii (rx,ry).
+func (c *canvas) ellipse(cx, cy, rx, ry, thickness, v float64) {
+	steps := int(4*(rx+ry)) + 8
+	for s := 0; s <= steps; s++ {
+		a := 2 * math.Pi * float64(s) / float64(steps)
+		c.disc(cx+rx*math.Cos(a), cy+ry*math.Sin(a), thickness/2, v)
+	}
+}
+
+// rect fills an axis-aligned rectangle.
+func (c *canvas) rect(x0, y0, x1, y1, v float64) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := int(math.Floor(y0)); y <= int(math.Ceil(y1)); y++ {
+		for x := int(math.Floor(x0)); x <= int(math.Ceil(x1)); x++ {
+			c.set(x, y, v)
+		}
+	}
+}
+
+// triangle fills the triangle (x0,y0)-(x1,y1)-(x2,y2) by barycentric test.
+func (c *canvas) triangle(x0, y0, x1, y1, x2, y2, v float64) {
+	minX := int(math.Floor(math.Min(x0, math.Min(x1, x2))))
+	maxX := int(math.Ceil(math.Max(x0, math.Max(x1, x2))))
+	minY := int(math.Floor(math.Min(y0, math.Min(y1, y2))))
+	maxY := int(math.Ceil(math.Max(y0, math.Max(y1, y2))))
+	den := (y1-y2)*(x0-x2) + (x2-x1)*(y0-y2)
+	if den == 0 {
+		return
+	}
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			px, py := float64(x), float64(y)
+			a := ((y1-y2)*(px-x2) + (x2-x1)*(py-y2)) / den
+			b := ((y2-y0)*(px-x2) + (x0-x2)*(py-y2)) / den
+			g := 1 - a - b
+			if a >= 0 && b >= 0 && g >= 0 {
+				c.set(x, y, v)
+			}
+		}
+	}
+}

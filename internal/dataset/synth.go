@@ -1,0 +1,297 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// SynthConfig controls the synthetic generators.
+type SynthConfig struct {
+	Size       int     // image side length (default 28)
+	PerClass   int     // instances per class (default 100)
+	NoiseSD    float64 // additive Gaussian pixel noise (default 0.05)
+	JitterPx   float64 // max translation jitter in pixels (default 2)
+	RotateRad  float64 // max rotation jitter in radians (default 0.12)
+	ScaleSpan  float64 // scale jitter: uniform in [1-s, 1+s] (default 0.08)
+	MinIntense float64 // per-sample stroke intensity lower bound (default 0.7)
+}
+
+func (c *SynthConfig) setDefaults() {
+	if c.Size <= 0 {
+		c.Size = 28
+	}
+	if c.PerClass <= 0 {
+		c.PerClass = 100
+	}
+	if c.NoiseSD < 0 {
+		c.NoiseSD = 0
+	} else if c.NoiseSD == 0 {
+		c.NoiseSD = 0.05
+	}
+	if c.JitterPx < 0 {
+		c.JitterPx = 0
+	} else if c.JitterPx == 0 {
+		// Scale the default with the canvas so small test images keep the
+		// same relative jitter as the 28x28 paper setting (2 px at 28).
+		c.JitterPx = float64(c.Size) / 14
+	}
+	if c.RotateRad == 0 {
+		c.RotateRad = 0.12
+	}
+	if c.ScaleSpan == 0 {
+		c.ScaleSpan = 0.08
+	}
+	if c.MinIntense <= 0 || c.MinIntense > 1 {
+		c.MinIntense = 0.7
+	}
+}
+
+// frame maps template coordinates (in a 28x28 reference square) onto the
+// jittered, scaled and rotated target canvas.
+type frame struct {
+	size            float64 // target canvas side
+	dx, dy, s, cosT float64
+	sinT            float64
+}
+
+func newFrame(rng *rand.Rand, cfg SynthConfig) frame {
+	theta := (2*rng.Float64() - 1) * cfg.RotateRad
+	return frame{
+		size: float64(cfg.Size),
+		dx:   (2*rng.Float64() - 1) * cfg.JitterPx,
+		dy:   (2*rng.Float64() - 1) * cfg.JitterPx,
+		s:    1 + (2*rng.Float64()-1)*cfg.ScaleSpan,
+		cosT: math.Cos(theta),
+		sinT: math.Sin(theta),
+	}
+}
+
+// pt transforms a reference coordinate. Reference space is 28x28 regardless
+// of the target size; the frame rescales it.
+func (f frame) pt(x, y float64) (float64, float64) {
+	// Center on the reference midpoint, rotate, scale, recenter on target.
+	rx, ry := x-14, y-14
+	qx := f.cosT*rx - f.sinT*ry
+	qy := f.sinT*rx + f.cosT*ry
+	k := f.s * f.size / 28
+	return qx*k + f.size/2 + f.dx, qy*k + f.size/2 + f.dy
+}
+
+func (f frame) len(v float64) float64 { return v * f.s * f.size / 28 }
+
+// drawFn renders one class template onto the canvas through a frame.
+type drawFn func(c *canvas, f frame, v float64)
+
+func (f frame) line(c *canvas, x0, y0, x1, y1, th, v float64) {
+	ax, ay := f.pt(x0, y0)
+	bx, by := f.pt(x1, y1)
+	c.line(ax, ay, bx, by, f.len(th), v)
+}
+
+func (f frame) ellipse(c *canvas, cx, cy, rx, ry, th, v float64) {
+	px, py := f.pt(cx, cy)
+	c.ellipse(px, py, f.len(rx), f.len(ry), f.len(th), v)
+}
+
+func (f frame) rect(c *canvas, x0, y0, x1, y1, v float64) {
+	// Draw as a dense fan of lines so rotation is honoured.
+	steps := int(math.Abs(y1-y0))*2 + 2
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		y := y0 + t*(y1-y0)
+		f.line(c, x0, y, x1, y, 1.4, v)
+	}
+}
+
+func (f frame) triangle(c *canvas, x0, y0, x1, y1, x2, y2, v float64) {
+	ax, ay := f.pt(x0, y0)
+	bx, by := f.pt(x1, y1)
+	cx, cy := f.pt(x2, y2)
+	c.triangle(ax, ay, bx, by, cx, cy, v)
+}
+
+// digitTemplates renders seven-segment-inspired digits 0-9.
+var digitTemplates = []drawFn{
+	func(c *canvas, f frame, v float64) { // 0
+		f.ellipse(c, 14, 14, 6, 9, 2.4, v)
+	},
+	func(c *canvas, f frame, v float64) { // 1
+		f.line(c, 14, 5, 14, 23, 2.4, v)
+		f.line(c, 10, 9, 14, 5, 2.2, v)
+	},
+	func(c *canvas, f frame, v float64) { // 2
+		f.ellipse(c, 14, 10, 5.5, 5, 2.2, v)
+		f.line(c, 18, 13, 9, 23, 2.4, v)
+		f.line(c, 9, 23, 20, 23, 2.4, v)
+	},
+	func(c *canvas, f frame, v float64) { // 3
+		f.ellipse(c, 13, 9.5, 5, 4.5, 2.2, v)
+		f.ellipse(c, 13, 18.5, 5.5, 4.5, 2.2, v)
+	},
+	func(c *canvas, f frame, v float64) { // 4
+		f.line(c, 17, 5, 17, 23, 2.4, v)
+		f.line(c, 17, 5, 8, 16, 2.2, v)
+		f.line(c, 8, 16, 21, 16, 2.4, v)
+	},
+	func(c *canvas, f frame, v float64) { // 5
+		f.line(c, 19, 5, 9, 5, 2.4, v)
+		f.line(c, 9, 5, 9, 13, 2.4, v)
+		f.line(c, 9, 13, 17, 13, 2.2, v)
+		f.ellipse(c, 13.5, 18, 5.5, 5, 2.2, v)
+	},
+	func(c *canvas, f frame, v float64) { // 6
+		f.ellipse(c, 13, 17.5, 5.5, 5.5, 2.4, v)
+		f.line(c, 9.5, 14, 14, 5, 2.4, v)
+	},
+	func(c *canvas, f frame, v float64) { // 7
+		f.line(c, 8, 5, 20, 5, 2.4, v)
+		f.line(c, 20, 5, 11, 23, 2.4, v)
+	},
+	func(c *canvas, f frame, v float64) { // 8
+		f.ellipse(c, 14, 9.5, 4.8, 4.3, 2.2, v)
+		f.ellipse(c, 14, 18.5, 5.6, 4.7, 2.2, v)
+	},
+	func(c *canvas, f frame, v float64) { // 9
+		f.ellipse(c, 14.5, 10.5, 5.5, 5.5, 2.4, v)
+		f.line(c, 18.5, 14, 14, 23, 2.4, v)
+	},
+}
+
+var digitNames = []string{"zero", "one", "two", "three", "four",
+	"five", "six", "seven", "eight", "nine"}
+
+// fashionTemplates renders garment silhouettes matching the FMNIST label
+// order: T-shirt, Trouser, Pullover, Dress, Coat, Sandal, Shirt, Sneaker,
+// Bag, Ankle boot.
+var fashionTemplates = []drawFn{
+	func(c *canvas, f frame, v float64) { // 0 T-shirt: boxy body, short sleeves
+		f.rect(c, 9, 8, 19, 22, v)
+		f.triangle(c, 9, 8, 4, 13, 9, 14, v)
+		f.triangle(c, 19, 8, 24, 13, 19, 14, v)
+		f.line(c, 11, 8, 17, 8, 1.6, 0) // collar notch (kept dark)
+	},
+	func(c *canvas, f frame, v float64) { // 1 Trouser: two legs
+		f.rect(c, 9, 5, 19, 9, v)
+		f.rect(c, 9, 9, 13, 24, v)
+		f.rect(c, 15, 9, 19, 24, v)
+	},
+	func(c *canvas, f frame, v float64) { // 2 Pullover: body + long sleeves
+		f.rect(c, 9, 7, 19, 22, v)
+		f.line(c, 9, 9, 4, 21, 3.4, v)
+		f.line(c, 19, 9, 24, 21, 3.4, v)
+	},
+	func(c *canvas, f frame, v float64) { // 3 Dress: bodice + flaring skirt
+		f.rect(c, 11, 5, 17, 12, v)
+		f.triangle(c, 11, 12, 17, 12, 22, 24, v)
+		f.triangle(c, 11, 12, 6, 24, 22, 24, v)
+	},
+	func(c *canvas, f frame, v float64) { // 4 Coat: long body, sleeves, lapel
+		f.rect(c, 8, 6, 20, 24, v)
+		f.line(c, 8, 8, 4, 20, 3.2, v)
+		f.line(c, 20, 8, 24, 20, 3.2, v)
+		f.line(c, 14, 6, 14, 24, 1.2, 0) // front opening
+	},
+	func(c *canvas, f frame, v float64) { // 5 Sandal: sole + straps
+		f.line(c, 5, 21, 23, 21, 2.6, v)
+		f.line(c, 8, 21, 12, 14, 1.6, v)
+		f.line(c, 16, 21, 12, 14, 1.6, v)
+		f.line(c, 19, 21, 22, 15, 1.6, v)
+	},
+	func(c *canvas, f frame, v float64) { // 6 Shirt: body + sleeves + buttons
+		f.rect(c, 9, 7, 19, 23, v)
+		f.line(c, 9, 9, 5, 18, 2.8, v)
+		f.line(c, 19, 9, 23, 18, 2.8, v)
+		f.line(c, 14, 9, 14, 21, 1.0, 0) // button placket
+		f.line(c, 11, 7, 14, 10, 1.2, 0) // collar
+		f.line(c, 17, 7, 14, 10, 1.2, 0)
+	},
+	func(c *canvas, f frame, v float64) { // 7 Sneaker: low profile + toe cap
+		f.rect(c, 6, 17, 22, 21, v)
+		f.ellipse(c, 20, 18.5, 3, 2.5, 2.6, v)
+		f.line(c, 8, 17, 12, 13, 2.2, v)
+		f.line(c, 12, 13, 16, 17, 2.2, v)
+	},
+	func(c *canvas, f frame, v float64) { // 8 Bag: box + handle arc
+		f.rect(c, 7, 13, 21, 23, v)
+		f.ellipse(c, 14, 11, 5, 4, 1.8, v)
+	},
+	func(c *canvas, f frame, v float64) { // 9 Ankle boot: shaft + foot + heel
+		f.rect(c, 8, 7, 14, 19, v)
+		f.rect(c, 8, 16, 22, 21, v)
+		f.ellipse(c, 20, 17.5, 3, 2.2, 2.2, v)
+		f.rect(c, 8, 21, 12, 23, v)
+	},
+}
+
+var fashionNames = []string{"tshirt", "trouser", "pullover", "dress", "coat",
+	"sandal", "shirt", "sneaker", "bag", "boot"}
+
+// generate renders PerClass samples of every template.
+func generate(rng *rand.Rand, name string, templates []drawFn, classNames []string, cfg SynthConfig) *Dataset {
+	cfg.setDefaults()
+	d := &Dataset{
+		Name:   name,
+		Width:  cfg.Size,
+		Height: cfg.Size,
+		Names:  classNames,
+	}
+	n := cfg.PerClass * len(templates)
+	d.X = make([]mat.Vec, 0, n)
+	d.Y = make([]int, 0, n)
+	for class, tpl := range templates {
+		for i := 0; i < cfg.PerClass; i++ {
+			cv := newCanvas(cfg.Size, cfg.Size)
+			f := newFrame(rng, cfg)
+			intensity := cfg.MinIntense + rng.Float64()*(1-cfg.MinIntense)
+			tpl(cv, f, intensity)
+			img := mat.Vec(cv.pix)
+			if cfg.NoiseSD > 0 {
+				for j := range img {
+					img[j] += rng.NormFloat64() * cfg.NoiseSD
+					if img[j] < 0 {
+						img[j] = 0
+					} else if img[j] > 1 {
+						img[j] = 1
+					}
+				}
+			}
+			d.X = append(d.X, img)
+			d.Y = append(d.Y, class)
+		}
+	}
+	// Interleave classes so prefixes of the dataset stay balanced.
+	order := rng.Perm(len(d.X))
+	xs := make([]mat.Vec, len(d.X))
+	ys := make([]int, len(d.Y))
+	for i, id := range order {
+		xs[i] = d.X[id]
+		ys[i] = d.Y[id]
+	}
+	d.X, d.Y = xs, ys
+	return d
+}
+
+// SyntheticDigits generates the MNIST stand-in: 10 digit classes.
+func SyntheticDigits(rng *rand.Rand, cfg SynthConfig) *Dataset {
+	return generate(rng, "synth-mnist", digitTemplates, digitNames, cfg)
+}
+
+// SyntheticFashion generates the Fashion-MNIST stand-in: 10 garment classes.
+func SyntheticFashion(rng *rand.Rand, cfg SynthConfig) *Dataset {
+	return generate(rng, "synth-fmnist", fashionTemplates, fashionNames, cfg)
+}
+
+// SyntheticByName dispatches on the dataset names used throughout the
+// experiment harness: "mnist" and "fmnist".
+func SyntheticByName(name string, rng *rand.Rand, cfg SynthConfig) (*Dataset, error) {
+	switch name {
+	case "mnist", "digits", "synth-mnist":
+		return SyntheticDigits(rng, cfg), nil
+	case "fmnist", "fashion", "synth-fmnist":
+		return SyntheticFashion(rng, cfg), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown synthetic dataset %q", name)
+}

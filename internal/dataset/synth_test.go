@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSyntheticDigitsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := SyntheticDigits(rng, SynthConfig{Size: 16, PerClass: 5})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 50 || d.Dim() != 256 || d.Classes() != 10 {
+		t.Fatalf("shape: n=%d dim=%d classes=%d", d.Len(), d.Dim(), d.Classes())
+	}
+	counts := d.ClassCounts()
+	for c, n := range counts {
+		if n != 5 {
+			t.Fatalf("class %d count = %d", c, n)
+		}
+	}
+}
+
+func TestSyntheticFashionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := SyntheticFashion(rng, SynthConfig{Size: 16, PerClass: 4})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 40 || d.Classes() != 10 {
+		t.Fatalf("shape: n=%d classes=%d", d.Len(), d.Classes())
+	}
+}
+
+func TestSyntheticReproducible(t *testing.T) {
+	a := SyntheticDigits(rand.New(rand.NewSource(7)), SynthConfig{Size: 12, PerClass: 3})
+	b := SyntheticDigits(rand.New(rand.NewSource(7)), SynthConfig{Size: 12, PerClass: 3})
+	for i := range a.X {
+		if !a.X[i].EqualApprox(b.X[i], 0) || a.Y[i] != b.Y[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestSyntheticClassesAreDistinguishable(t *testing.T) {
+	// Class means should differ pairwise by a clear margin — otherwise the
+	// downstream models could not learn anything.
+	rng := rand.New(rand.NewSource(3))
+	d := SyntheticDigits(rng, SynthConfig{Size: 20, PerClass: 20})
+	means := make([]struct {
+		ok bool
+		v  []float64
+	}, 10)
+	for c := 0; c < 10; c++ {
+		m, err := d.ClassMean(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[c].v = m
+		means[c].ok = true
+	}
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			var dist float64
+			for j := range means[a].v {
+				dv := means[a].v[j] - means[b].v[j]
+				dist += dv * dv
+			}
+			if dist < 0.5 {
+				t.Fatalf("classes %d and %d have nearly identical means (d2=%v)", a, b, dist)
+			}
+		}
+	}
+}
+
+func TestSyntheticHasInk(t *testing.T) {
+	// Every image must contain some bright pixels (the template) and, at the
+	// default noise level, not be saturated everywhere.
+	rng := rand.New(rand.NewSource(4))
+	d := SyntheticFashion(rng, SynthConfig{Size: 20, PerClass: 3})
+	for i, x := range d.X {
+		var bright, dark int
+		for _, v := range x {
+			if v > 0.5 {
+				bright++
+			}
+			if v < 0.2 {
+				dark++
+			}
+		}
+		if bright < 5 {
+			t.Fatalf("image %d (class %d) has almost no ink", i, d.Y[i])
+		}
+		if dark < 5 {
+			t.Fatalf("image %d is saturated", i)
+		}
+	}
+}
+
+func TestSyntheticByName(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range []string{"mnist", "fmnist", "digits", "fashion"} {
+		d, err := SyntheticByName(name, rng, SynthConfig{Size: 10, PerClass: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Len() != 10 {
+			t.Fatalf("%s: len = %d", name, d.Len())
+		}
+	}
+	if _, err := SyntheticByName("cifar", rng, SynthConfig{}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := newCanvas(10, 10)
+	c.set(5, 5, 0.5)
+	if c.pix[5*10+5] != 0.5 {
+		t.Fatal("set failed")
+	}
+	c.set(5, 5, 0.3) // lower value must not overwrite
+	if c.pix[5*10+5] != 0.5 {
+		t.Fatal("set overwrote with lower value")
+	}
+	c.set(-1, 0, 1) // out of bounds ignored
+	c.set(0, 99, 1)
+	c.rect(2, 2, 4, 4, 1)
+	if c.pix[3*10+3] != 1 {
+		t.Fatal("rect did not fill")
+	}
+	c2 := newCanvas(10, 10)
+	c2.line(0, 0, 9, 9, 1, 1)
+	if c2.pix[0] == 0 || c2.pix[99] == 0 {
+		t.Fatal("line endpoints not drawn")
+	}
+	c3 := newCanvas(12, 12)
+	c3.ellipse(6, 6, 4, 4, 1, 1)
+	if c3.pix[6*12+6] != 0 {
+		t.Fatal("ellipse should be an outline, center must stay empty")
+	}
+	c4 := newCanvas(12, 12)
+	c4.triangle(1, 1, 10, 1, 5, 10, 1)
+	if c4.pix[2*12+5] == 0 {
+		t.Fatal("triangle did not fill")
+	}
+	// Degenerate triangle is a no-op.
+	c5 := newCanvas(4, 4)
+	c5.triangle(0, 0, 1, 1, 2, 2, 1)
+}

@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/interpret/naive"
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// BoundaryPoint is one measurement of the paper's Figure 1 argument: an
+// instance at a controlled distance from a region boundary, interpreted by
+// the fixed-distance naive method and by OpenAPI.
+type BoundaryPoint struct {
+	// Distance is the Euclidean distance from the instance to the probed
+	// boundary (upper bound from bisection).
+	Distance float64
+	// NaiveL1 is the naive method's error at the fixed h.
+	NaiveL1 float64
+	// OpenAPIL1 is OpenAPI's error on the same instance.
+	OpenAPIL1 float64
+	// OpenAPIIters is how many halvings OpenAPI needed.
+	OpenAPIIters int
+	// OpenAPIFailed records an ErrNoConvergence (expected only at
+	// numerically-zero distances).
+	OpenAPIFailed bool
+}
+
+// BoundaryProfile walks instances toward region boundaries and measures how
+// interpretation quality degrades. For each seed instance it finds a
+// neighbour in a different region, then bisects: after k halvings the
+// midpoint sits at distance ~2^-k of the original gap from the boundary.
+// At each depth the naive method (fixed h) and OpenAPI are both scored
+// against ground truth. The paper's claim: the naive method falls over as
+// soon as its h exceeds the boundary distance, while OpenAPI just spends
+// more iterations.
+func BoundaryProfile(model plm.RegionModel, xs []mat.Vec, h float64, depths []int, seed int64) ([]BoundaryPoint, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("eval: boundary profile needs instances")
+	}
+	if len(depths) == 0 {
+		depths = []int{0, 4, 8, 12}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []BoundaryPoint
+	for _, x := range xs {
+		// Find a partner in another region.
+		partner, ok := findOtherRegion(model, x, rng)
+		if !ok {
+			continue // model may be single-region around x; skip
+		}
+		a, b := x.Clone(), partner
+		maxDepth := depths[len(depths)-1]
+		next := 0
+		for k := 0; k <= maxDepth; k++ {
+			if next < len(depths) && k == depths[next] {
+				next++
+				dist := a.L2Dist(b)
+				pt := BoundaryPoint{Distance: dist}
+				c := model.Predict(a).ArgMax()
+				n := naive.New(naive.Config{H: h, Seed: seed + int64(k)})
+				if interp, err := n.Interpret(model, a, c); err == nil {
+					if l1, err := L1Dist(model, a, interp); err == nil {
+						pt.NaiveL1 = l1
+					}
+				}
+				o := core.New(core.Config{Seed: seed + int64(100+k)})
+				if interp, err := o.Interpret(model, a, c); err != nil {
+					pt.OpenAPIFailed = true
+				} else {
+					if l1, err := L1Dist(model, a, interp); err == nil {
+						pt.OpenAPIL1 = l1
+					}
+					pt.OpenAPIIters = interp.Iterations
+				}
+				out = append(out, pt)
+			}
+			// One bisection step toward the boundary, staying on a's side.
+			mid := a.Add(b).ScaleInPlace(0.5)
+			if model.RegionKey(mid) == model.RegionKey(a) {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: no boundaries found near any instance")
+	}
+	return out, nil
+}
+
+// findOtherRegion looks for a point in a different region than x by
+// expanding random rays.
+func findOtherRegion(model plm.RegionModel, x mat.Vec, rng *rand.Rand) (mat.Vec, bool) {
+	key := model.RegionKey(x)
+	for scale := 0.5; scale <= 64; scale *= 2 {
+		for try := 0; try < 8; try++ {
+			p := x.Clone()
+			for i := range p {
+				p[i] += scale * rng.NormFloat64()
+			}
+			if model.RegionKey(p) != key {
+				return p, true
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestBoundaryProfileShapes(t *testing.T) {
+	model := plnnModel(200, 4, 10, 3)
+	rng := rand.New(rand.NewSource(201))
+	xs := []mat.Vec{randVec(rng, 4), randVec(rng, 4), randVec(rng, 4)}
+	pts, err := BoundaryProfile(model, xs, 1e-2, []int{0, 6, 12}, 202)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no boundary points")
+	}
+	var sawClose, sawFar bool
+	for _, p := range pts {
+		if p.Distance <= 0 {
+			t.Fatalf("non-positive distance %v", p.Distance)
+		}
+		if p.OpenAPIFailed {
+			continue // legitimate at numerically-zero distance
+		}
+		if p.OpenAPIL1 > 0.05 {
+			t.Fatalf("OpenAPI L1 = %v at distance %v — adaptivity broken", p.OpenAPIL1, p.Distance)
+		}
+		if p.Distance < 1e-2 {
+			sawClose = true
+		} else {
+			sawFar = true
+		}
+	}
+	if !sawClose || !sawFar {
+		t.Skipf("profile did not cover both regimes (close=%v far=%v)", sawClose, sawFar)
+	}
+	// Figure 1's claim in numbers: near the boundary (distance < h) the
+	// naive method's worst error is much larger than far from it.
+	var worstClose, worstFar float64
+	for _, p := range pts {
+		if p.Distance < 1e-2 {
+			if p.NaiveL1 > worstClose {
+				worstClose = p.NaiveL1
+			}
+		} else if p.NaiveL1 > worstFar {
+			worstFar = p.NaiveL1
+		}
+	}
+	if worstClose <= worstFar {
+		t.Fatalf("naive method should degrade near boundaries: close %v vs far %v", worstClose, worstFar)
+	}
+}
+
+func TestBoundaryProfileErrors(t *testing.T) {
+	model := plnnModel(203, 3, 5, 2)
+	if _, err := BoundaryProfile(model, nil, 1e-4, nil, 1); err == nil {
+		t.Fatal("empty instances accepted")
+	}
+}
+
+func TestFindOtherRegionSingleRegionModel(t *testing.T) {
+	// A purely linear model has one region; the search must give up
+	// gracefully rather than loop forever.
+	rng := rand.New(rand.NewSource(204))
+	model := linearOnlyModel()
+	if _, ok := findOtherRegion(model, mat.Vec{0, 0}, rng); ok {
+		t.Fatal("found a second region in a single-region model")
+	}
+	if _, err := BoundaryProfile(model, []mat.Vec{{0, 0}}, 1e-4, nil, 1); err == nil {
+		t.Fatal("single-region profile should report no boundaries")
+	}
+}

@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/plm"
+	"repro/internal/sample"
+)
+
+// Census quantifies the locally-linear-region structure the paper's §II
+// argument rests on (region counts grow exponentially with network width,
+// citing Montúfar et al.): how many distinct regions a probe sample touches
+// and how large the regions around data points are.
+type Census struct {
+	Probes          int
+	DistinctRegions int
+	// LargestShare is the fraction of probes landing in the most popular
+	// region (1.0 = the sampler never left one region).
+	LargestShare float64
+	// MedianEdge is the median edge length of the largest same-region
+	// hypercube found around each probe by bisection — an empirical proxy
+	// for local region size, the quantity OpenAPI's adaptive shrinking has
+	// to discover per instance.
+	MedianEdge float64
+	// MinEdge and MaxEdge bound the same measurement.
+	MinEdge, MaxEdge float64
+}
+
+// RegionCensus probes the model at n points drawn around the given anchors
+// (uniform in a unit hypercube centred on a random anchor each) and reports
+// region statistics. maxBisect bounds the per-probe edge search.
+func RegionCensus(model plm.RegionModel, anchors []mat.Vec, n, maxBisect int, rng *rand.Rand) (Census, error) {
+	if len(anchors) == 0 {
+		return Census{}, fmt.Errorf("eval: census needs at least one anchor")
+	}
+	if n <= 0 {
+		n = 100
+	}
+	if maxBisect <= 0 {
+		maxBisect = 20
+	}
+	counts := make(map[string]int, n)
+	edges := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		anchor := anchors[rng.Intn(len(anchors))]
+		probe := sample.NewHypercube(anchor, 1.0).Sample(rng)
+		counts[model.RegionKey(probe)]++
+		edges = append(edges, sameRegionEdge(model, probe, rng, maxBisect))
+	}
+	var largest int
+	for _, c := range counts {
+		if c > largest {
+			largest = c
+		}
+	}
+	s := mat.Summarize(edges)
+	return Census{
+		Probes:          n,
+		DistinctRegions: len(counts),
+		LargestShare:    float64(largest) / float64(n),
+		MedianEdge:      s.Median,
+		MinEdge:         s.Min,
+		MaxEdge:         s.Max,
+	}, nil
+}
+
+// sameRegionEdge bisects for the largest hypercube edge around x whose
+// sampled corners stay in x's region (8 probe corners per candidate edge).
+func sameRegionEdge(model plm.RegionModel, x mat.Vec, rng *rand.Rand, maxBisect int) float64 {
+	key := model.RegionKey(x)
+	inRegion := func(edge float64) bool {
+		cube := sample.NewHypercube(x, edge)
+		for i := 0; i < 8; i++ {
+			if model.RegionKey(cube.Sample(rng)) != key {
+				return false
+			}
+		}
+		return true
+	}
+	// Exponential search down from 1.0 until inside, then refine upward.
+	edge := 1.0
+	steps := 0
+	for !inRegion(edge) && steps < maxBisect {
+		edge /= 2
+		steps++
+	}
+	if steps >= maxBisect {
+		return edge
+	}
+	lo, hi := edge, edge*2
+	for i := steps; i < maxBisect; i++ {
+		mid := (lo + hi) / 2
+		if inRegion(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SolverAblation compares OpenAPI's three linear-algebra strategies on the
+// same instances: identical answers, different cost. It backs the A1
+// ablation in DESIGN.md.
+type SolverAblation struct {
+	Solver     core.Solver
+	MeanL1     float64 // distance to ground truth, should match across solvers
+	MeanMillis float64 // wall time per instance
+	Failures   int
+}
+
+// AblateSolvers runs every solver over the instances and reports exactness
+// and timing.
+func AblateSolvers(model plm.RegionModel, xs []mat.Vec, seed int64) ([]SolverAblation, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("eval: solver ablation needs instances")
+	}
+	solvers := []core.Solver{core.SolverSharedLU, core.SolverSharedQR, core.SolverPerPairLU}
+	out := make([]SolverAblation, 0, len(solvers))
+	for _, s := range solvers {
+		o := core.New(core.Config{Seed: seed, Solver: s})
+		var l1s []float64
+		failures := 0
+		start := time.Now()
+		for _, x := range xs {
+			c := model.Predict(x).ArgMax()
+			interp, err := o.Interpret(model, x, c)
+			if err != nil {
+				failures++
+				continue
+			}
+			l1, err := L1Dist(model, x, interp)
+			if err != nil {
+				return nil, err
+			}
+			l1s = append(l1s, l1)
+		}
+		elapsed := time.Since(start)
+		out = append(out, SolverAblation{
+			Solver:     s,
+			MeanL1:     mat.Summarize(l1s).Mean,
+			MeanMillis: float64(elapsed.Milliseconds()) / float64(len(xs)),
+			Failures:   failures,
+		})
+	}
+	return out, nil
+}

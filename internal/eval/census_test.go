@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func TestRegionCensusMultiRegionNetwork(t *testing.T) {
+	model := plnnModel(1, 4, 10, 3)
+	rng := rand.New(rand.NewSource(2))
+	anchors := []mat.Vec{randVec(rng, 4), randVec(rng, 4)}
+	c, err := RegionCensus(model, anchors, 60, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Probes != 60 {
+		t.Fatalf("Probes = %d", c.Probes)
+	}
+	if c.DistinctRegions < 2 {
+		t.Fatalf("a 10-unit ReLU net should expose several regions, got %d", c.DistinctRegions)
+	}
+	if c.LargestShare <= 0 || c.LargestShare > 1 {
+		t.Fatalf("LargestShare = %v", c.LargestShare)
+	}
+	if c.MinEdge < 0 || c.MedianEdge < c.MinEdge || c.MaxEdge < c.MedianEdge {
+		t.Fatalf("edge ordering broken: %v %v %v", c.MinEdge, c.MedianEdge, c.MaxEdge)
+	}
+}
+
+func TestRegionCensusSingleRegionModel(t *testing.T) {
+	// A pure linear model has exactly one region: census must report it and
+	// the edge search should hit its upper bound region size.
+	rng := rand.New(rand.NewSource(3))
+	w := mat.FromRows(mat.Vec{1, 0}, mat.Vec{0, 1})
+	net := nn.FromLayers(nn.Layer{W: w, B: mat.Vec{0, 0}})
+	model := &openbox.PLNN{Net: net}
+	c, err := RegionCensus(model, []mat.Vec{{0, 0}}, 25, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DistinctRegions != 1 {
+		t.Fatalf("linear model census found %d regions", c.DistinctRegions)
+	}
+	if c.LargestShare != 1 {
+		t.Fatalf("LargestShare = %v", c.LargestShare)
+	}
+}
+
+func TestRegionCensusErrors(t *testing.T) {
+	model := plnnModel(4, 3, 4, 2)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := RegionCensus(model, nil, 10, 10, rng); err == nil {
+		t.Fatal("empty anchors accepted")
+	}
+}
+
+func TestAblateSolversAgreeOnExactness(t *testing.T) {
+	model := plnnModel(6, 5, 8, 3)
+	rng := rand.New(rand.NewSource(7))
+	xs := []mat.Vec{randVec(rng, 5), randVec(rng, 5), randVec(rng, 5)}
+	rows, err := AblateSolvers(model, xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	solvers := map[core.Solver]bool{}
+	for _, r := range rows {
+		solvers[r.Solver] = true
+		if r.Failures > 0 {
+			t.Fatalf("%v failed on %d instances", r.Solver, r.Failures)
+		}
+		if r.MeanL1 > 1e-4 {
+			t.Fatalf("%v mean L1 = %v", r.Solver, r.MeanL1)
+		}
+		if r.MeanMillis < 0 {
+			t.Fatalf("%v negative timing", r.Solver)
+		}
+	}
+	if len(solvers) != 3 {
+		t.Fatal("solvers not distinct")
+	}
+	if _, err := AblateSolvers(model, nil, 9); err == nil {
+		t.Fatal("empty instances accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/interpret/lime"
+	"repro/internal/interpret/naive"
+	"repro/internal/interpret/zoo"
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// HGrid is the perturbation-distance grid of Figures 5-7.
+var HGrid = []float64{1e-8, 1e-4, 1e-2}
+
+// StandardBaselines builds the paper's four API-only baselines at a given
+// perturbation distance h: the naive method (N), ZOO (Z), Linear Regression
+// LIME (L) and Ridge Regression LIME (R).
+func StandardBaselines(h float64, seed int64) []plm.Interpreter {
+	return []plm.Interpreter{
+		naive.New(naive.Config{H: h, Seed: seed}),
+		zoo.New(zoo.Config{H: h}),
+		lime.New(lime.Config{H: h, Seed: seed + 1}),
+		lime.New(lime.Config{H: h, Ridge: 1.0, Seed: seed + 2}),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+// AccuracyRow is one row of Table I.
+type AccuracyRow struct {
+	Dataset  string
+	Model    string
+	TrainAcc float64
+	TestAcc  float64
+}
+
+// Table1 reports train/test accuracy of both target models of a workbench.
+func Table1(w *Workbench) []AccuracyRow {
+	rows := make([]AccuracyRow, 0, 2)
+	rows = append(rows, AccuracyRow{
+		Dataset:  w.Config.Dataset,
+		Model:    "PLNN",
+		TrainAcc: w.PLNN.Net.Accuracy(w.Train.X, w.Train.Y),
+		TestAcc:  w.PLNN.Net.Accuracy(w.Test.X, w.Test.Y),
+	})
+	rows = append(rows, AccuracyRow{
+		Dataset:  w.Config.Dataset,
+		Model:    "LMT",
+		TrainAcc: w.LMT.Accuracy(w.Train.X, w.Train.Y),
+		TestAcc:  w.LMT.Accuracy(w.Test.X, w.Test.Y),
+	})
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+// ClassHeatmap is one column of Figure 2: a class's averaged test image and
+// its averaged OpenAPI decision features under each target model.
+type ClassHeatmap struct {
+	Class       int
+	ClassName   string
+	MeanImage   mat.Vec
+	AvgDecision map[string]mat.Vec // model name -> averaged D_c
+	Instances   int                // instances averaged per model
+}
+
+// Figure2 averages OpenAPI decision features per class. For each selected
+// class it samples up to perClass test instances of that class, interprets
+// each with OpenAPI against both models, and averages D_c.
+func Figure2(w *Workbench, o *core.OpenAPI, classes []int, perClass int, rng *rand.Rand) ([]ClassHeatmap, error) {
+	if perClass <= 0 {
+		perClass = 10
+	}
+	out := make([]ClassHeatmap, 0, len(classes))
+	for _, c := range classes {
+		if c < 0 || c >= w.Test.Classes() {
+			return nil, fmt.Errorf("eval: class %d out of range", c)
+		}
+		mean, err := w.Test.ClassMean(c)
+		if err != nil {
+			return nil, err
+		}
+		ids := w.Test.ByClass(c)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		if len(ids) > perClass {
+			ids = ids[:perClass]
+		}
+		hm := ClassHeatmap{
+			Class:       c,
+			ClassName:   w.Test.Names[c],
+			MeanImage:   mean,
+			AvgDecision: make(map[string]mat.Vec, 2),
+			Instances:   len(ids),
+		}
+		for _, entry := range w.Models() {
+			sum := mat.NewVec(w.Test.Dim())
+			for _, id := range ids {
+				interp, err := o.Interpret(entry.Model, w.Test.X[id], c)
+				if err != nil {
+					return nil, fmt.Errorf("eval: figure 2 %s class %d: %w", entry.Name, c, err)
+				}
+				sum.AddInPlace(interp.Features)
+			}
+			hm.AvgDecision[entry.Name] = sum.ScaleInPlace(1 / float64(len(ids)))
+		}
+		out = append(out, hm)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+// MethodCurves is one method's pair of Figure 3 series.
+type MethodCurves struct {
+	Method string
+	CPP    []float64 // mean change of prediction probability per flip count
+	NLCI   []float64 // number of label-changed instances per flip count
+}
+
+// Figure3 runs the feature-flipping protocol for every method over the given
+// instances. The interpreted class of each instance is the model's predicted
+// label.
+func Figure3(model plm.Model, methods []plm.Interpreter, xs []mat.Vec, maxFlips int) ([]MethodCurves, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("eval: figure 3 needs at least one instance")
+	}
+	out := make([]MethodCurves, 0, len(methods))
+	for _, m := range methods {
+		traces := make([]*FlipResult, 0, len(xs))
+		for _, x := range xs {
+			c := model.Predict(x).ArgMax()
+			interp, err := m.Interpret(model, x, c)
+			if err != nil {
+				return nil, fmt.Errorf("eval: figure 3 %s: %w", m.Name(), err)
+			}
+			trace, err := FlipCurve(model, x, interp, maxFlips)
+			if err != nil {
+				return nil, err
+			}
+			traces = append(traces, trace)
+		}
+		cpp, nlci, err := AggregateFlips(traces)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MethodCurves{Method: m.Name(), CPP: cpp, NLCI: nlci})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+// ConsistencyCurve is one method's Figure 4 series: cosine similarities
+// between each instance's interpretation and its nearest neighbour's,
+// sorted in descending order.
+type ConsistencyCurve struct {
+	Method string
+	CS     []float64
+}
+
+// Figure4 computes interpretation consistency over (instance, neighbour)
+// pairs. Both ends of a pair are interpreted for the first instance's
+// predicted class, mirroring the paper's setup.
+func Figure4(model plm.Model, methods []plm.Interpreter, pairs [][2]mat.Vec) ([]ConsistencyCurve, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("eval: figure 4 needs at least one pair")
+	}
+	out := make([]ConsistencyCurve, 0, len(methods))
+	for _, m := range methods {
+		cs := make([]float64, 0, len(pairs))
+		for _, pr := range pairs {
+			c := model.Predict(pr[0]).ArgMax()
+			ia, err := m.Interpret(model, pr[0], c)
+			if err != nil {
+				return nil, fmt.Errorf("eval: figure 4 %s: %w", m.Name(), err)
+			}
+			ib, err := m.Interpret(model, pr[1], c)
+			if err != nil {
+				return nil, fmt.Errorf("eval: figure 4 %s: %w", m.Name(), err)
+			}
+			cs = append(cs, CosineConsistency(ia, ib))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(cs)))
+		out = append(out, ConsistencyCurve{Method: m.Name(), CS: cs})
+	}
+	return out, nil
+}
+
+// NeighbourPairs builds the Figure 4 instance pairs: each selected test
+// instance with its nearest test-set neighbour.
+func NeighbourPairs(w *Workbench, ids []int) ([][2]mat.Vec, error) {
+	idx := newTestIndex(w)
+	pairs := make([][2]mat.Vec, 0, len(ids))
+	for _, id := range ids {
+		n, err := idx.NearestOf(id)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, [2]mat.Vec{w.Test.X[id], w.Test.X[n]})
+	}
+	return pairs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5, 6, 7
+// ---------------------------------------------------------------------------
+
+// QualityRow is one (method) row of the Figures 5-7 grids: sample quality
+// (RD, WD) and exactness (L1Dist) aggregated over instances, plus probing
+// cost.
+type QualityRow struct {
+	Method        string
+	AvgRD         float64
+	WD            mat.Summary
+	L1            mat.Summary
+	AvgQueries    float64
+	AvgIterations float64
+	Failures      int // instances the method could not interpret
+}
+
+// SampleQuality evaluates RD, WD and L1Dist for every method over the given
+// instances against a white-box model. Methods that expose no sample set
+// (white-box gradient baselines) get RD/WD NaN-free zero summaries with
+// N == 0.
+func SampleQuality(model plm.RegionModel, methods []plm.Interpreter, xs []mat.Vec) ([]QualityRow, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("eval: sample quality needs at least one instance")
+	}
+	out := make([]QualityRow, 0, len(methods))
+	for _, m := range methods {
+		var rds, wds, l1s, queries, iters []float64
+		failures := 0
+		for _, x := range xs {
+			c := model.Predict(x).ArgMax()
+			interp, err := m.Interpret(model, x, c)
+			if err != nil {
+				failures++
+				continue
+			}
+			l1, err := L1Dist(model, x, interp)
+			if err != nil {
+				return nil, err
+			}
+			l1s = append(l1s, l1)
+			queries = append(queries, float64(interp.Queries))
+			iters = append(iters, float64(interp.Iterations))
+			if len(interp.Samples) > 0 {
+				rds = append(rds, RegionDifference(model, x, interp.Samples))
+				wd, err := WeightDifference(model, x, interp.Samples, c)
+				if err != nil {
+					return nil, err
+				}
+				wds = append(wds, wd)
+			}
+		}
+		row := QualityRow{
+			Method:        m.Name(),
+			WD:            mat.Summarize(wds),
+			L1:            mat.Summarize(l1s),
+			AvgQueries:    mat.Summarize(queries).Mean,
+			AvgIterations: mat.Summarize(iters).Mean,
+			Failures:      failures,
+		}
+		row.AvgRD = mat.Summarize(rds).Mean
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// QualityGrid runs SampleQuality for OpenAPI plus the standard baselines at
+// every h in the grid — the full Figures 5-7 panel for one model.
+func QualityGrid(model plm.RegionModel, xs []mat.Vec, hs []float64, seed int64) ([]QualityRow, error) {
+	if len(hs) == 0 {
+		hs = HGrid
+	}
+	methods := []plm.Interpreter{core.New(core.Config{Seed: seed})}
+	for i, h := range hs {
+		methods = append(methods, StandardBaselines(h, seed+int64(100*(i+1)))...)
+	}
+	return SampleQuality(model, methods, xs)
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// FlipResult traces the paper's Figure 3 protocol for one instance: starting
+// from x0 with predicted class c, features are altered one at a time in
+// descending order of |weight| (positive-weight features set to 0,
+// negative-weight features set to 1). After each alteration the probability
+// of class c and the predicted label are recorded.
+type FlipResult struct {
+	Class int
+	// CPP[k] is |P(c | x altered k+1 times) − P(c | x0)| — the change of
+	// prediction probability after k+1 flips.
+	CPP []float64
+	// LabelChanged[k] reports whether the predicted label differs from c
+	// after k+1 flips.
+	LabelChanged []bool
+	// Queries is the number of Predict calls consumed by the trace.
+	Queries int
+}
+
+// FlipCurve applies the feature-flipping protocol to one instance using the
+// weights of interp, altering up to maxFlips features.
+func FlipCurve(model plm.Model, x0 mat.Vec, interp *plm.Interpretation, maxFlips int) (*FlipResult, error) {
+	d := len(x0)
+	if len(interp.Features) != d {
+		return nil, fmt.Errorf("eval: interpretation has %d weights for %d features", len(interp.Features), d)
+	}
+	if maxFlips <= 0 || maxFlips > d {
+		maxFlips = d
+	}
+	// Rank features by descending absolute weight.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	w := interp.Features
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := w[order[a]], w[order[b]]
+		if wa < 0 {
+			wa = -wa
+		}
+		if wb < 0 {
+			wb = -wb
+		}
+		return wa > wb
+	})
+
+	base := model.Predict(x0)
+	c := interp.Class
+	p0 := base[c]
+	x := x0.Clone()
+	res := &FlipResult{
+		Class:        c,
+		CPP:          make([]float64, 0, maxFlips),
+		LabelChanged: make([]bool, 0, maxFlips),
+		Queries:      1,
+	}
+	for k := 0; k < maxFlips; k++ {
+		f := order[k]
+		// Positive weights support class c: erase them. Negative weights
+		// oppose it: saturate them.
+		if w[f] >= 0 {
+			x[f] = 0
+		} else {
+			x[f] = 1
+		}
+		p := model.Predict(x)
+		res.Queries++
+		diff := p[c] - p0
+		if diff < 0 {
+			diff = -diff
+		}
+		res.CPP = append(res.CPP, diff)
+		res.LabelChanged = append(res.LabelChanged, p.ArgMax() != c)
+	}
+	return res, nil
+}
+
+// AggregateFlips averages many FlipResults into the two Figure 3 series:
+// mean CPP per flip count, and NLCI (the number of instances whose label has
+// changed) per flip count. All traces must have equal length.
+func AggregateFlips(results []*FlipResult) (avgCPP []float64, nlci []float64, err error) {
+	if len(results) == 0 {
+		return nil, nil, fmt.Errorf("eval: no flip results to aggregate")
+	}
+	k := len(results[0].CPP)
+	for i, r := range results {
+		if len(r.CPP) != k || len(r.LabelChanged) != k {
+			return nil, nil, fmt.Errorf("eval: flip trace %d has length %d, want %d", i, len(r.CPP), k)
+		}
+	}
+	avgCPP = make([]float64, k)
+	nlci = make([]float64, k)
+	for _, r := range results {
+		for j := 0; j < k; j++ {
+			avgCPP[j] += r.CPP[j]
+			if r.LabelChanged[j] {
+				nlci[j]++
+			}
+		}
+	}
+	for j := range avgCPP {
+		avgCPP[j] /= float64(len(results))
+	}
+	return avgCPP, nlci, nil
+}

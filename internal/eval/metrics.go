@@ -1,0 +1,93 @@
+// Package eval implements the paper's evaluation harness: the metrics of
+// §V (CPP, NLCI, cosine consistency, Region Difference, Weight Difference,
+// L1Dist), the feature-flipping protocol behind Figure 3, and one driver per
+// table/figure that regenerates the corresponding rows and series.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// RegionDifference is the paper's RD metric: 0 when every sampled instance
+// shares x0's locally linear region, 1 otherwise.
+func RegionDifference(m plm.RegionModel, x0 mat.Vec, samples []mat.Vec) float64 {
+	key := m.RegionKey(x0)
+	for _, s := range samples {
+		if m.RegionKey(s) != key {
+			return 1
+		}
+	}
+	return 0
+}
+
+// WeightDifference is the paper's WD metric: the average L1 distance between
+// the core-parameter vectors of x0 and of each sampled instance,
+//
+//	WD = Σ_{c'≠c} Σ_i ||D^0_{c,c'} − D^i_{c,c'}||_1 / ((C−1)·|S|),
+//
+// computed from the model's ground-truth local classifiers. It is 0 exactly
+// when every sample shares x0's core parameters.
+func WeightDifference(m plm.RegionModel, x0 mat.Vec, samples []mat.Vec, c int) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("eval: WeightDifference needs at least one sample")
+	}
+	C := m.Classes()
+	if c < 0 || c >= C {
+		return 0, fmt.Errorf("eval: class %d out of range [0,%d)", c, C)
+	}
+	loc0, err := m.LocalAt(x0)
+	if err != nil {
+		return 0, err
+	}
+	// Samples overwhelmingly share a handful of regions; extracting the
+	// local classifier once per distinct region turns the metric from
+	// O(|S|·extract) into O(#regions·extract). The per-region pair gap is
+	// cached too, since it only depends on the region.
+	key0 := m.RegionKey(x0)
+	gapByRegion := map[string]float64{key0: 0}
+	var total float64
+	for _, s := range samples {
+		key := m.RegionKey(s)
+		gap, ok := gapByRegion[key]
+		if !ok {
+			locI, err := m.LocalAt(s)
+			if err != nil {
+				return 0, err
+			}
+			for cp := 0; cp < C; cp++ {
+				if cp == c {
+					continue
+				}
+				d0, _ := loc0.CoreParams(c, cp)
+				di, _ := locI.CoreParams(c, cp)
+				gap += d0.L1Dist(di)
+			}
+			gapByRegion[key] = gap
+		}
+		total += gap
+	}
+	return total / (float64(C-1) * float64(len(samples))), nil
+}
+
+// L1Dist is the paper's exactness metric: the L1 distance between the
+// ground-truth decision features of x0 and an interpreter's estimate.
+func L1Dist(m plm.RegionModel, x0 mat.Vec, interp *plm.Interpretation) (float64, error) {
+	loc, err := m.LocalAt(x0)
+	if err != nil {
+		return 0, err
+	}
+	truth := loc.DecisionFeatures(interp.Class)
+	if len(truth) != len(interp.Features) {
+		return 0, fmt.Errorf("eval: feature length %d != %d", len(interp.Features), len(truth))
+	}
+	return truth.L1Dist(interp.Features), nil
+}
+
+// CosineConsistency is the paper's CS metric: the cosine similarity between
+// the interpretations of two (usually neighbouring) instances.
+func CosineConsistency(a, b *plm.Interpretation) float64 {
+	return a.Features.Cosine(b.Features)
+}

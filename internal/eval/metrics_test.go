@@ -1,0 +1,223 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+	"repro/internal/plm"
+)
+
+func plnnModel(seed int64, sizes ...int) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), sizes...)}
+}
+
+func randVec(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// linearOnlyModel is a single-region PLM (no hidden layer).
+func linearOnlyModel() *openbox.PLNN {
+	w := mat.FromRows(mat.Vec{1, 0}, mat.Vec{0, 1})
+	return &openbox.PLNN{Net: nn.FromLayers(nn.Layer{W: w, B: mat.Vec{0, 0}})}
+}
+
+// boundaryModel splits the plane at x[0] = 0 into two regions.
+func boundaryModel() *openbox.PLNN {
+	w1 := mat.FromRows(mat.Vec{1, 0})
+	w2 := mat.FromRows(mat.Vec{1}, mat.Vec{-1})
+	return &openbox.PLNN{Net: nn.FromLayers(
+		nn.Layer{W: w1, B: mat.Vec{0}},
+		nn.Layer{W: w2, B: mat.Vec{0, 0}},
+	)}
+}
+
+func TestRegionDifference(t *testing.T) {
+	m := boundaryModel()
+	x0 := mat.Vec{1, 0}
+	sameSide := []mat.Vec{{2, 1}, {0.5, -1}}
+	if rd := RegionDifference(m, x0, sameSide); rd != 0 {
+		t.Fatalf("same-region RD = %v", rd)
+	}
+	crossed := []mat.Vec{{2, 1}, {-0.5, 0}}
+	if rd := RegionDifference(m, x0, crossed); rd != 1 {
+		t.Fatalf("cross-region RD = %v", rd)
+	}
+	if rd := RegionDifference(m, x0, nil); rd != 0 {
+		t.Fatalf("empty-sample RD = %v", rd)
+	}
+}
+
+func TestWeightDifference(t *testing.T) {
+	m := boundaryModel()
+	x0 := mat.Vec{1, 0}
+	// Same region: identical core parameters, WD = 0.
+	wd, err := WeightDifference(m, x0, []mat.Vec{{2, 0}, {3, 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd != 0 {
+		t.Fatalf("same-region WD = %v", wd)
+	}
+	// Other region: D_{0,1} flips from (2,0) to (0,0): L1 gap 2 per sample.
+	wd, err = WeightDifference(m, x0, []mat.Vec{{-1, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd != 2 {
+		t.Fatalf("cross-region WD = %v, want 2", wd)
+	}
+	// Mixed: average of 0 and 2.
+	wd, err = WeightDifference(m, x0, []mat.Vec{{2, 0}, {-1, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd != 1 {
+		t.Fatalf("mixed WD = %v, want 1", wd)
+	}
+	if _, err := WeightDifference(m, x0, nil, 0); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := WeightDifference(m, x0, []mat.Vec{{1, 1}}, 9); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestL1DistMetric(t *testing.T) {
+	m := boundaryModel()
+	x0 := mat.Vec{1, 0}
+	truth, err := m.LocalAt(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := &plm.Interpretation{Class: 0, Features: truth.DecisionFeatures(0)}
+	d, err := L1Dist(m, x0, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("exact interpretation L1 = %v", d)
+	}
+	off := &plm.Interpretation{Class: 0, Features: truth.DecisionFeatures(0).Add(mat.Vec{1, -1})}
+	d, err = L1Dist(m, x0, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("offset L1 = %v, want 2", d)
+	}
+	bad := &plm.Interpretation{Class: 0, Features: mat.Vec{1}}
+	if _, err := L1Dist(m, x0, bad); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCosineConsistencyMetric(t *testing.T) {
+	a := &plm.Interpretation{Features: mat.Vec{1, 0}}
+	b := &plm.Interpretation{Features: mat.Vec{2, 0}}
+	if cs := CosineConsistency(a, b); cs < 1-1e-12 {
+		t.Fatalf("parallel CS = %v", cs)
+	}
+	c := &plm.Interpretation{Features: mat.Vec{0, 1}}
+	if cs := CosineConsistency(a, c); cs != 0 {
+		t.Fatalf("orthogonal CS = %v", cs)
+	}
+}
+
+func TestFlipCurveMonotoneSetup(t *testing.T) {
+	model := plnnModel(1, 4, 8, 3)
+	rng := rand.New(rand.NewSource(2))
+	x := randVec(rng, 4)
+	c := model.Predict(x).ArgMax()
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := &plm.Interpretation{Class: c, Features: truth.DecisionFeatures(c)}
+	res, err := FlipCurve(model, x, interp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CPP) != 3 || len(res.LabelChanged) != 3 {
+		t.Fatalf("trace lengths %d/%d", len(res.CPP), len(res.LabelChanged))
+	}
+	for _, v := range res.CPP {
+		if v < 0 || v > 1 {
+			t.Fatalf("CPP out of range: %v", v)
+		}
+	}
+	if res.Queries != 4 {
+		t.Fatalf("queries = %d, want 4", res.Queries)
+	}
+}
+
+func TestFlipCurveMaxFlipsClamped(t *testing.T) {
+	model := plnnModel(3, 3, 5, 2)
+	rng := rand.New(rand.NewSource(4))
+	x := randVec(rng, 3)
+	interp := &plm.Interpretation{Class: 0, Features: mat.Vec{1, -1, 0.5}}
+	res, err := FlipCurve(model, x, interp, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CPP) != 3 {
+		t.Fatalf("clamped length = %d, want 3", len(res.CPP))
+	}
+	if _, err := FlipCurve(model, x, &plm.Interpretation{Class: 0, Features: mat.Vec{1}}, 2); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+}
+
+func TestFlipCurveOrdering(t *testing.T) {
+	// The first flip must target the largest-|weight| feature and use the
+	// right replacement value.
+	model := boundaryModel()
+	x0 := mat.Vec{0.9, 0.3}
+	interp := &plm.Interpretation{Class: 0, Features: mat.Vec{5, -0.1}}
+	res, err := FlipCurve(model, x0, interp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping x[0] (positive weight) to 0 puts the instance on the region
+	// boundary where logits are (0,0) -> p=(.5,.5); the base prediction at
+	// x0 was softmax(0.9,-0.9). CPP[0] = |0.5 - sigmoid(1.8)|.
+	base := model.Predict(x0)[0]
+	wantCPP := base - 0.5
+	if wantCPP < 0 {
+		wantCPP = -wantCPP
+	}
+	if diff := res.CPP[0] - wantCPP; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CPP[0] = %v, want %v", res.CPP[0], wantCPP)
+	}
+}
+
+func TestAggregateFlips(t *testing.T) {
+	a := &FlipResult{CPP: []float64{0.1, 0.2}, LabelChanged: []bool{false, true}}
+	b := &FlipResult{CPP: []float64{0.3, 0.4}, LabelChanged: []bool{true, true}}
+	cpp, nlci, err := AggregateFlips([]*FlipResult{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cpp[0] - 0.2; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("cpp = %v", cpp)
+	}
+	if d := cpp[1] - 0.3; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("cpp = %v", cpp)
+	}
+	if nlci[0] != 1 || nlci[1] != 2 {
+		t.Fatalf("nlci = %v", nlci)
+	}
+	if _, _, err := AggregateFlips(nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+	short := &FlipResult{CPP: []float64{0.1}, LabelChanged: []bool{false}}
+	if _, _, err := AggregateFlips([]*FlipResult{a, short}); err == nil {
+		t.Fatal("ragged traces accepted")
+	}
+}

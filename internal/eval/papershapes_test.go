@@ -1,0 +1,130 @@
+package eval
+
+// papershapes_test asserts the qualitative findings of EXPERIMENTS.md as
+// executable checks, so a regression that breaks a headline claim of the
+// reproduction fails CI instead of silently corrupting the next results run.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plm"
+)
+
+func qualityByName(rows []QualityRow, name string) *QualityRow {
+	for i := range rows {
+		if strings.HasPrefix(rows[i].Method, name) {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func TestPaperShapeOpenAPIBeatsBaselinesAtCoarseH(t *testing.T) {
+	w := testWorkbench(t)
+	rng := rand.New(rand.NewSource(100))
+	ids := w.SampleTestInstances(rng, 6)
+	xs := w.Test.Subset(ids, "shape").X
+
+	methods := []plm.Interpreter{core.New(core.Config{Seed: 101})}
+	methods = append(methods, StandardBaselines(1e-2, 102)...)
+	rows, err := SampleQuality(w.PLNN, methods, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa := qualityByName(rows, "OpenAPI")
+	naive := qualityByName(rows, "Naive")
+	ridge := qualityByName(rows, "LIME-Ridge")
+	if oa == nil || naive == nil || ridge == nil {
+		t.Fatal("missing method rows")
+	}
+	// Headline: OpenAPI exact, h-free.
+	if oa.AvgRD != 0 || oa.WD.Mean != 0 {
+		t.Fatalf("OpenAPI RD/WD = %v/%v, want 0/0", oa.AvgRD, oa.WD.Mean)
+	}
+	if oa.L1.Mean > 1e-4 {
+		t.Fatalf("OpenAPI L1 = %v", oa.L1.Mean)
+	}
+	// Coarse-h baselines must be measurably worse on at least one axis.
+	if naive.AvgRD == 0 && naive.L1.Mean < 1e-6 {
+		t.Fatalf("naive at h=1e-2 suspiciously perfect (RD %v, L1 %v) — shape broken",
+			naive.AvgRD, naive.L1.Mean)
+	}
+	if oa.L1.Mean >= naive.L1.Mean {
+		t.Fatalf("OpenAPI L1 (%v) should beat coarse naive (%v)", oa.L1.Mean, naive.L1.Mean)
+	}
+}
+
+func TestPaperShapeRidgeCollapsesAtTinyH(t *testing.T) {
+	w := testWorkbench(t)
+	rng := rand.New(rand.NewSource(103))
+	ids := w.SampleTestInstances(rng, 4)
+	xs := w.Test.Subset(ids, "shape").X
+
+	rows, err := SampleQuality(w.PLNN, StandardBaselines(1e-8, 104), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := qualityByName(rows, "LIME-Linear")
+	ridge := qualityByName(rows, "LIME-Ridge")
+	if linear == nil || ridge == nil {
+		t.Fatal("missing LIME rows")
+	}
+	// §V-D: at tiny h the ridge surrogate collapses toward a constant while
+	// plain least squares stays accurate. Orders of magnitude apart.
+	if ridge.L1.Mean < 100*linear.L1.Mean {
+		t.Fatalf("ridge collapse not reproduced: ridge %v vs linear %v",
+			ridge.L1.Mean, linear.L1.Mean)
+	}
+}
+
+func TestPaperShapeNoUniversalH(t *testing.T) {
+	// h = 1e-4 behaves differently across models: clean on the LMT (few,
+	// huge leaf regions at this scale), noisier on the PLNN (many small
+	// regions) — the paper's core argument for adaptivity. At minimum, the
+	// LMT must be no worse than the PLNN under the same h.
+	w := testWorkbench(t)
+	rng := rand.New(rand.NewSource(105))
+	ids := w.SampleTestInstances(rng, 6)
+	xs := w.Test.Subset(ids, "shape").X
+
+	rowsPLNN, err := SampleQuality(w.PLNN, StandardBaselines(1e-2, 106)[:1], xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsLMT, err := SampleQuality(w.LMT, StandardBaselines(1e-2, 106)[:1], xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsLMT[0].AvgRD > rowsPLNN[0].AvgRD+1e-9 {
+		t.Fatalf("expected LMT regions to be coarser than PLNN regions at same h: LMT RD %v vs PLNN RD %v",
+			rowsLMT[0].AvgRD, rowsPLNN[0].AvgRD)
+	}
+}
+
+func TestPaperShapeRegionStructure(t *testing.T) {
+	// §II: a ReLU net has many more regions than an LMT has leaves.
+	w := testWorkbench(t)
+	rng := rand.New(rand.NewSource(107))
+	ids := w.SampleTestInstances(rng, 5)
+	anchors := w.Test.Subset(ids, "anchors").X
+
+	plnnCensus, err := RegionCensus(w.PLNN, anchors, 80, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmtCensus, err := RegionCensus(w.LMT, anchors, 80, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plnnCensus.DistinctRegions <= lmtCensus.DistinctRegions {
+		t.Fatalf("PLNN regions (%d) should outnumber LMT leaves touched (%d)",
+			plnnCensus.DistinctRegions, lmtCensus.DistinctRegions)
+	}
+	if lmtCensus.DistinctRegions > w.LMT.NumLeaves() {
+		t.Fatalf("census found %d LMT regions but the tree has %d leaves",
+			lmtCensus.DistinctRegions, w.LMT.NumLeaves())
+	}
+}

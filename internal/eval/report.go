@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// newTestIndex builds a nearest-neighbour index over the workbench test set.
+func newTestIndex(w *Workbench) *dataset.NNIndex {
+	return dataset.NewNNIndex(w.Test)
+}
+
+// WriteTable1 renders Table I rows as GitHub-flavoured markdown.
+func WriteTable1(w io.Writer, rows []AccuracyRow) error {
+	if _, err := fmt.Fprintln(w, "| Dataset | Model | Train | Test |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---------|-------|-------|------|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %.3f | %.3f |\n", r.Dataset, r.Model, r.TrainAcc, r.TestAcc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCurvesCSV renders Figure 3 method curves as CSV with one row per
+// flip count.
+func WriteCurvesCSV(w io.Writer, curves []MethodCurves) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("eval: no curves")
+	}
+	header := []string{"flips"}
+	for _, c := range curves {
+		header = append(header, c.Method+"_cpp", c.Method+"_nlci")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := len(curves[0].CPP)
+	for k := 0; k < n; k++ {
+		row := []string{fmt.Sprintf("%d", k+1)}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.6f", c.CPP[k]), fmt.Sprintf("%.0f", c.NLCI[k]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteConsistencyCSV renders Figure 4 curves as CSV with one row per
+// instance rank.
+func WriteConsistencyCSV(w io.Writer, curves []ConsistencyCurve) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("eval: no curves")
+	}
+	header := []string{"rank"}
+	for _, c := range curves {
+		header = append(header, c.Method)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := len(curves[0].CS)
+	for k := 0; k < n; k++ {
+		row := []string{fmt.Sprintf("%d", k+1)}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.6f", c.CS[k]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteQuality renders the Figures 5-7 grid as markdown: RD (Fig. 5),
+// WD min/mean/max (Fig. 6) and L1Dist min/mean/max (Fig. 7) per method.
+func WriteQuality(w io.Writer, rows []QualityRow) error {
+	if _, err := fmt.Fprintln(w, "| Method | AvgRD | WD mean | WD min | WD max | L1 mean | L1 min | L1 max | Queries | Iters | Fail |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|--------|-------|---------|--------|--------|---------|--------|--------|---------|-------|------|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %.4f | %.4g | %.4g | %.4g | %.4g | %.4g | %.4g | %.1f | %.2f | %d |\n",
+			r.Method, r.AvgRD,
+			r.WD.Mean, r.WD.Min, r.WD.Max,
+			r.L1.Mean, r.L1.Min, r.L1.Max,
+			r.AvgQueries, r.AvgIterations, r.Failures); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestWriteTable1(t *testing.T) {
+	rows := []AccuracyRow{
+		{Dataset: "mnist", Model: "PLNN", TrainAcc: 0.98, TestAcc: 0.97},
+		{Dataset: "mnist", Model: "LMT", TrainAcc: 0.99, TestAcc: 0.95},
+	}
+	var sb strings.Builder
+	if err := WriteTable1(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"PLNN", "LMT", "0.980", "0.950", "| Dataset |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCurvesCSV(t *testing.T) {
+	curves := []MethodCurves{
+		{Method: "OpenAPI", CPP: []float64{0.1, 0.2}, NLCI: []float64{1, 2}},
+		{Method: "LIME", CPP: []float64{0.05, 0.1}, NLCI: []float64{0, 1}},
+	}
+	var sb strings.Builder
+	if err := WriteCurvesCSV(&sb, curves); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "flips,OpenAPI_cpp,OpenAPI_nlci,LIME_cpp") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0.100000,1") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if err := WriteCurvesCSV(&sb, nil); err == nil {
+		t.Fatal("empty curves accepted")
+	}
+}
+
+func TestWriteConsistencyCSV(t *testing.T) {
+	curves := []ConsistencyCurve{
+		{Method: "OpenAPI", CS: []float64{1, 0.9}},
+		{Method: "Saliency", CS: []float64{0.8, 0.2}},
+	}
+	var sb strings.Builder
+	if err := WriteConsistencyCSV(&sb, curves); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rank,OpenAPI,Saliency") {
+		t.Fatalf("header missing: %s", out)
+	}
+	if !strings.Contains(out, "2,0.900000,0.200000") {
+		t.Fatalf("row missing: %s", out)
+	}
+	if err := WriteConsistencyCSV(&sb, nil); err == nil {
+		t.Fatal("empty curves accepted")
+	}
+}
+
+func TestWriteQuality(t *testing.T) {
+	rows := []QualityRow{{
+		Method: "OpenAPI",
+		AvgRD:  0,
+		WD:     mat.Summarize([]float64{0, 0}),
+		L1:     mat.Summarize([]float64{1e-9, 2e-9}),
+	}}
+	var sb strings.Builder
+	if err := WriteQuality(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "OpenAPI") || !strings.Contains(out, "AvgRD") {
+		t.Fatalf("output missing fields:\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func plnnModel(seed int64, sizes ...int) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), sizes...)}
+}
+
+func randVec(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestHarvestExactWithinRegion(t *testing.T) {
+	// The surrogate must reproduce the hidden model's distribution exactly
+	// at points that share the probe's region.
+	model := plnnModel(1, 5, 10, 4)
+	rng := rand.New(rand.NewSource(2))
+	probe := randVec(rng, 5)
+	ext := New(core.Config{Seed: 3})
+	s, err := ext.Harvest(model, []mat.Vec{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != 1 {
+		t.Fatalf("regions = %d", s.NumRegions())
+	}
+	hits := 0
+	for trial := 0; trial < 100; trial++ {
+		x := probe.Clone()
+		for i := range x {
+			x[i] += 1e-7 * rng.NormFloat64()
+		}
+		if model.RegionKey(x) != model.RegionKey(probe) {
+			continue
+		}
+		hits++
+		want := model.Predict(x)
+		got := s.Predict(x)
+		if !got.EqualApprox(want, 1e-6) {
+			t.Fatalf("surrogate %v != model %v inside probed region", got, want)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no same-region test points; test ineffective")
+	}
+}
+
+func TestHarvestMultiRegionFidelity(t *testing.T) {
+	// More probes -> better coverage. Fidelity of a 30-probe surrogate must
+	// be high on fresh instances and no worse than a 1-probe surrogate.
+	model := plnnModel(4, 4, 8, 3)
+	rng := rand.New(rand.NewSource(5))
+	probes := make([]mat.Vec, 30)
+	for i := range probes {
+		probes[i] = randVec(rng, 4)
+	}
+	ext := New(core.Config{Seed: 6})
+	big, err := ext.Harvest(model, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ext.Harvest(model, probes[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := make([]mat.Vec, 150)
+	for i := range tests {
+		tests[i] = randVec(rng, 4)
+	}
+	fBig, err := Verify(big, model, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSmall, err := Verify(small, model, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fBig.LabelAgreement < 0.8 {
+		t.Fatalf("30-probe surrogate agreement = %v", fBig.LabelAgreement)
+	}
+	if fBig.LabelAgreement+1e-9 < fSmall.LabelAgreement-0.1 {
+		t.Fatalf("more probes made fidelity much worse: %v vs %v",
+			fBig.LabelAgreement, fSmall.LabelAgreement)
+	}
+	if fBig.MeanTVDistance < 0 || fBig.MeanTVDistance > 1 {
+		t.Fatalf("TV distance out of range: %v", fBig.MeanTVDistance)
+	}
+}
+
+func TestHarvestThroughCountedAPI(t *testing.T) {
+	// Extraction consumes only Predict calls — count them.
+	model := plnnModel(7, 4, 6, 3)
+	counter := api.NewCounter(model)
+	ext := New(core.Config{Seed: 8})
+	rng := rand.New(rand.NewSource(9))
+	if _, err := ext.Harvest(counter, []mat.Vec{randVec(rng, 4), randVec(rng, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Count() == 0 {
+		t.Fatal("no API queries recorded")
+	}
+}
+
+func TestHarvestErrors(t *testing.T) {
+	model := plnnModel(10, 3, 4, 2)
+	ext := New(core.Config{Seed: 11})
+	if _, err := ext.Harvest(model, nil); err == nil {
+		t.Fatal("empty probes accepted")
+	}
+	// A probe of the wrong dimension fails interpretation; with only that
+	// probe, Harvest must fail too.
+	if _, err := ext.Harvest(model, []mat.Vec{{1}}); err == nil {
+		t.Fatal("all-failed harvest should error")
+	}
+	// A mix of bad and good probes succeeds with the good one.
+	rng := rand.New(rand.NewSource(12))
+	s, err := ext.Harvest(model, []mat.Vec{{1}, randVec(rng, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != 1 {
+		t.Fatalf("regions = %d", s.NumRegions())
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	model := plnnModel(13, 3, 4, 2)
+	s := &Surrogate{dim: 3, classes: 2}
+	if _, err := Verify(s, model, nil); err == nil {
+		t.Fatal("empty verification set accepted")
+	}
+}
+
+func TestEmptySurrogatePredictsUniform(t *testing.T) {
+	s := &Surrogate{dim: 2, classes: 4}
+	p := s.Predict(mat.Vec{0, 0})
+	for _, v := range p {
+		if v != 0.25 {
+			t.Fatalf("empty surrogate = %v", p)
+		}
+	}
+	if s.RegionAt(mat.Vec{0, 0}) != nil {
+		t.Fatal("empty surrogate has a region")
+	}
+}
+
+func TestSurrogateMetadata(t *testing.T) {
+	s := &Surrogate{dim: 7, classes: 3}
+	if s.Dim() != 7 || s.Classes() != 3 || s.NumRegions() != 0 {
+		t.Fatal("metadata wrong")
+	}
+}

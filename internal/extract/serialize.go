@@ -1,0 +1,102 @@
+package extract
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/mat"
+)
+
+const surrogateFormatTag = "openapi-surrogate-v1"
+
+type surrogateJSON struct {
+	Format  string       `json:"format"`
+	Dim     int          `json:"dim"`
+	Classes int          `json:"classes"`
+	Regions []regionJSON `json:"regions"`
+}
+
+type regionJSON struct {
+	Probe []float64   `json:"probe"`
+	RelW  [][]float64 `json:"rel_w"`
+	RelB  []float64   `json:"rel_b"`
+}
+
+// MarshalJSON encodes the surrogate with every harvested region.
+func (s *Surrogate) MarshalJSON() ([]byte, error) {
+	out := surrogateJSON{
+		Format:  surrogateFormatTag,
+		Dim:     s.dim,
+		Classes: s.classes,
+		Regions: make([]regionJSON, len(s.regions)),
+	}
+	for i, r := range s.regions {
+		rj := regionJSON{Probe: r.Probe, RelB: r.RelB}
+		rj.RelW = make([][]float64, len(r.RelW))
+		for c, w := range r.RelW {
+			rj.RelW[c] = w
+		}
+		out.Regions[i] = rj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a surrogate written by MarshalJSON.
+func (s *Surrogate) UnmarshalJSON(data []byte) error {
+	var in surrogateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("extract: decode: %w", err)
+	}
+	if in.Format != surrogateFormatTag {
+		return fmt.Errorf("extract: unknown format %q (want %q)", in.Format, surrogateFormatTag)
+	}
+	if in.Dim <= 0 || in.Classes < 2 {
+		return fmt.Errorf("extract: invalid shape %dx%d", in.Dim, in.Classes)
+	}
+	regions := make([]*Region, len(in.Regions))
+	for i, rj := range in.Regions {
+		if len(rj.Probe) != in.Dim {
+			return fmt.Errorf("extract: region %d probe length %d != %d", i, len(rj.Probe), in.Dim)
+		}
+		if len(rj.RelW) != in.Classes || len(rj.RelB) != in.Classes {
+			return fmt.Errorf("extract: region %d has %d weight rows / %d biases, want %d",
+				i, len(rj.RelW), len(rj.RelB), in.Classes)
+		}
+		r := &Region{Probe: rj.Probe, RelW: make([]mat.Vec, in.Classes), RelB: rj.RelB}
+		for c, w := range rj.RelW {
+			if len(w) != in.Dim {
+				return fmt.Errorf("extract: region %d class %d weight length %d != %d", i, c, len(w), in.Dim)
+			}
+			r.RelW[c] = w
+		}
+		regions[i] = r
+	}
+	s.dim, s.classes, s.regions = in.Dim, in.Classes, regions
+	return nil
+}
+
+// Save writes the surrogate to path as JSON.
+func (s *Surrogate) Save(path string) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("extract: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("extract: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a surrogate saved by Save.
+func Load(path string) (*Surrogate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("extract: load %s: %w", path, err)
+	}
+	var s Surrogate
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

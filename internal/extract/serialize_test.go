@@ -1,0 +1,61 @@
+package extract
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+func TestSurrogateSaveLoadRoundTrip(t *testing.T) {
+	model := plnnModel(20, 4, 8, 3)
+	rng := rand.New(rand.NewSource(21))
+	probes := []mat.Vec{randVec(rng, 4), randVec(rng, 4), randVec(rng, 4)}
+	ext := New(core.Config{Seed: 22})
+	s, err := ext.Harvest(model, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clone.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim() != s.Dim() || loaded.Classes() != s.Classes() || loaded.NumRegions() != s.NumRegions() {
+		t.Fatal("loaded metadata differs")
+	}
+	for trial := 0; trial < 20; trial++ {
+		x := randVec(rng, 4)
+		if !s.Predict(x).EqualApprox(loaded.Predict(x), 0) {
+			t.Fatal("loaded surrogate predicts differently")
+		}
+	}
+}
+
+func TestSurrogateLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSurrogateUnmarshalRejectsGarbage(t *testing.T) {
+	var s Surrogate
+	cases := []string{
+		`junk`,
+		`{"format":"wrong","dim":2,"classes":2,"regions":[]}`,
+		`{"format":"openapi-surrogate-v1","dim":0,"classes":2,"regions":[]}`,
+		`{"format":"openapi-surrogate-v1","dim":2,"classes":2,"regions":[{"probe":[1],"rel_w":[[0,0],[1,1]],"rel_b":[0,0]}]}`,
+		`{"format":"openapi-surrogate-v1","dim":2,"classes":2,"regions":[{"probe":[1,2],"rel_w":[[0,0]],"rel_b":[0]}]}`,
+		`{"format":"openapi-surrogate-v1","dim":2,"classes":2,"regions":[{"probe":[1,2],"rel_w":[[0,0],[1]],"rel_b":[0,0]}]}`,
+	}
+	for i, c := range cases {
+		if err := s.UnmarshalJSON([]byte(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package heatmap renders feature vectors as images, reproducing the
+// paper's Figure 2 visualization convention: gray-scale for averaged class
+// images, and a red/blue diverging colormap for decision features, where red
+// marks features that support the class and blue marks features that
+// suppress it.
+package heatmap
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// Grayscale renders values (expected in [0,1], clamped otherwise) as a
+// w-by-h gray image, row-major.
+func Grayscale(values mat.Vec, w, h int) (*image.Gray, error) {
+	if len(values) != w*h {
+		return nil, fmt.Errorf("heatmap: %d values for %dx%d image", len(values), w, h)
+	}
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := values[y*w+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			img.SetGray(x, y, color.Gray{Y: uint8(v*255 + 0.5)})
+		}
+	}
+	return img, nil
+}
+
+// Diverging renders signed values with the red/blue convention: the most
+// positive value maps to pure red, the most negative to pure blue, zero to
+// white. Normalization is symmetric around zero by the max |value|.
+func Diverging(values mat.Vec, w, h int) (*image.RGBA, error) {
+	if len(values) != w*h {
+		return nil, fmt.Errorf("heatmap: %d values for %dx%d image", len(values), w, h)
+	}
+	maxAbs := values.NormInf()
+	if maxAbs == 0 {
+		maxAbs = 1 // all-white image
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t := values[y*w+x] / maxAbs // in [-1, 1]
+			var r, g, b uint8
+			if t >= 0 {
+				// White -> red.
+				r = 255
+				g = uint8((1 - t) * 255)
+				b = uint8((1 - t) * 255)
+			} else {
+				// White -> blue.
+				r = uint8((1 + t) * 255)
+				g = uint8((1 + t) * 255)
+				b = 255
+			}
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return img, nil
+}
+
+// SavePNG writes any image to path as PNG.
+func SavePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heatmap: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return fmt.Errorf("heatmap: encode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Montage composes a grid of equally sized images into one image with pad
+// pixels of white gutter — how the paper lays out Figure 2 (rows: mean
+// image, PLNN features, LMT features; columns: classes). rows[r][c] may be
+// nil to leave a cell blank. All non-nil cells must share the first cell's
+// bounds.
+func Montage(rows [][]image.Image, pad int) (*image.RGBA, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("heatmap: empty montage")
+	}
+	if pad < 0 {
+		pad = 0
+	}
+	var cellW, cellH, cols int
+	for _, row := range rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+		for _, img := range row {
+			if img != nil && cellW == 0 {
+				b := img.Bounds()
+				cellW, cellH = b.Dx(), b.Dy()
+			}
+		}
+	}
+	if cellW == 0 {
+		return nil, fmt.Errorf("heatmap: montage has no images")
+	}
+	outW := cols*cellW + (cols+1)*pad
+	outH := len(rows)*cellH + (len(rows)+1)*pad
+	out := image.NewRGBA(image.Rect(0, 0, outW, outH))
+	// White background.
+	for i := range out.Pix {
+		out.Pix[i] = 255
+	}
+	for r, row := range rows {
+		for c, img := range row {
+			if img == nil {
+				continue
+			}
+			b := img.Bounds()
+			if b.Dx() != cellW || b.Dy() != cellH {
+				return nil, fmt.Errorf("heatmap: cell (%d,%d) is %dx%d, want %dx%d",
+					r, c, b.Dx(), b.Dy(), cellW, cellH)
+			}
+			x0 := pad + c*(cellW+pad)
+			y0 := pad + r*(cellH+pad)
+			for y := 0; y < cellH; y++ {
+				for x := 0; x < cellW; x++ {
+					out.Set(x0+x, y0+y, img.At(b.Min.X+x, b.Min.Y+y))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+const asciiRamp = " .:-=+*#%@"
+
+// ASCII renders values as terminal art. When signed is false the ramp maps
+// [0, max]; when signed is true positive values render with the ramp and
+// negative values with lowercase letters, so polarity is visible in a log.
+func ASCII(values mat.Vec, w, h int, signed bool) (string, error) {
+	if len(values) != w*h {
+		return "", fmt.Errorf("heatmap: %d values for %dx%d image", len(values), w, h)
+	}
+	maxAbs := values.NormInf()
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var sb strings.Builder
+	sb.Grow((w + 1) * h)
+	negRamp := " abcdefghi"
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := values[y*w+x] / maxAbs
+			if !signed {
+				if v < 0 {
+					v = 0
+				}
+				idx := int(v * float64(len(asciiRamp)-1))
+				sb.WriteByte(asciiRamp[idx])
+				continue
+			}
+			a := math.Abs(v)
+			idx := int(a * float64(len(asciiRamp)-1))
+			if v >= 0 {
+				sb.WriteByte(asciiRamp[idx])
+			} else {
+				sb.WriteByte(negRamp[idx])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// SideBySide joins several equal-height ASCII blocks horizontally with a
+// separator — handy for printing Figure 2 rows in a terminal.
+func SideBySide(blocks []string, sep string) string {
+	if len(blocks) == 0 {
+		return ""
+	}
+	split := make([][]string, len(blocks))
+	height := 0
+	for i, b := range blocks {
+		split[i] = strings.Split(strings.TrimRight(b, "\n"), "\n")
+		if len(split[i]) > height {
+			height = len(split[i])
+		}
+	}
+	var sb strings.Builder
+	for row := 0; row < height; row++ {
+		for i, lines := range split {
+			if i > 0 {
+				sb.WriteString(sep)
+			}
+			if row < len(lines) {
+				sb.WriteString(lines[row])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package heatmap
+
+import (
+	"image"
+	"image/png"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestGrayscale(t *testing.T) {
+	img, err := Grayscale(mat.Vec{0, 0.5, 1, 2}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.GrayAt(0, 0).Y != 0 {
+		t.Fatalf("pixel (0,0) = %d", img.GrayAt(0, 0).Y)
+	}
+	if img.GrayAt(1, 0).Y != 128 {
+		t.Fatalf("pixel (1,0) = %d", img.GrayAt(1, 0).Y)
+	}
+	if img.GrayAt(0, 1).Y != 255 {
+		t.Fatalf("pixel (0,1) = %d", img.GrayAt(0, 1).Y)
+	}
+	// Out-of-range clamps.
+	if img.GrayAt(1, 1).Y != 255 {
+		t.Fatalf("clamped pixel = %d", img.GrayAt(1, 1).Y)
+	}
+	if _, err := Grayscale(mat.Vec{1}, 2, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestDivergingColors(t *testing.T) {
+	img, err := Diverging(mat.Vec{1, -1, 0, 0.5}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most positive -> pure red.
+	c := img.RGBAAt(0, 0)
+	if c.R != 255 || c.G != 0 || c.B != 0 {
+		t.Fatalf("positive pixel = %+v", c)
+	}
+	// Most negative -> pure blue.
+	c = img.RGBAAt(1, 0)
+	if c.R != 0 || c.G != 0 || c.B != 255 {
+		t.Fatalf("negative pixel = %+v", c)
+	}
+	// Zero -> white.
+	c = img.RGBAAt(0, 1)
+	if c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Fatalf("zero pixel = %+v", c)
+	}
+	// All-zero input renders without dividing by zero.
+	if _, err := Diverging(mat.NewVec(4), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	img, err := Grayscale(mat.Vec{0, 1, 1, 0}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.png")
+	if err := SavePNG(path, img); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 2 || decoded.Bounds().Dy() != 2 {
+		t.Fatal("decoded bounds wrong")
+	}
+	if err := SavePNG(filepath.Join(t.TempDir(), "no/such/dir/x.png"), img); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out, err := ASCII(mat.Vec{0, 1, 0.5, 0}, 2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("shape wrong: %q", out)
+	}
+	if lines[0][0] != ' ' || lines[0][1] != '@' {
+		t.Fatalf("ramp wrong: %q", lines[0])
+	}
+	// Signed mode distinguishes polarity.
+	signed, err := ASCII(mat.Vec{1, -1, 0, 0}, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signed[0] != '@' || signed[1] != 'i' {
+		t.Fatalf("signed ramp wrong: %q", signed)
+	}
+	if _, err := ASCII(mat.Vec{1}, 3, 3, false); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestMontage(t *testing.T) {
+	g1, err := Grayscale(mat.Vec{0, 1, 1, 0}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Diverging(mat.Vec{1, -1, 0, 0.5}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Montage([][]image.Image{{g1, d1}, {nil, g1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cols x 2px + 3 pads = 7 wide; 2 rows x 2px + 3 pads = 7 tall.
+	if m.Bounds().Dx() != 7 || m.Bounds().Dy() != 7 {
+		t.Fatalf("montage bounds = %v", m.Bounds())
+	}
+	// Gutter is white.
+	if r, g, b, _ := m.At(0, 0).RGBA(); r != 0xffff || g != 0xffff || b != 0xffff {
+		t.Fatal("gutter not white")
+	}
+	// The nil cell stays white.
+	if r, g, b, _ := m.At(1, 4).RGBA(); r != 0xffff || g != 0xffff || b != 0xffff {
+		t.Fatal("nil cell not blank")
+	}
+	// First cell's (1,0) pixel is gray value 255 from g1 (index 1 = 1.0).
+	if r, _, _, _ := m.At(2, 1).RGBA(); r != 0xffff {
+		t.Fatal("image content missing")
+	}
+}
+
+func TestMontageErrors(t *testing.T) {
+	if _, err := Montage(nil, 1); err == nil {
+		t.Fatal("empty montage accepted")
+	}
+	if _, err := Montage([][]image.Image{{nil}}, 1); err == nil {
+		t.Fatal("all-nil montage accepted")
+	}
+	small, _ := Grayscale(mat.Vec{0}, 1, 1)
+	big, _ := Grayscale(mat.Vec{0, 0, 0, 0}, 2, 2)
+	if _, err := Montage([][]image.Image{{small, big}}, 0); err == nil {
+		t.Fatal("mismatched cell sizes accepted")
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := "ab\ncd\n"
+	b := "12\n34\n"
+	got := SideBySide([]string{a, b}, " | ")
+	want := "ab | 12\ncd | 34\n"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if SideBySide(nil, "|") != "" {
+		t.Fatal("empty input should give empty output")
+	}
+	// Ragged heights pad gracefully.
+	got = SideBySide([]string{"x\n", "1\n2\n"}, "|")
+	if !strings.Contains(got, "x|1") {
+		t.Fatalf("ragged join = %q", got)
+	}
+}

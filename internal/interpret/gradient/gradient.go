@@ -1,0 +1,204 @@
+// Package gradient implements the three white-box baselines of the paper's
+// Figure 3/4 comparison — Saliency Maps (Simonyan et al.), Gradient*Input
+// (Shrikumar et al.), and Integrated Gradients (Sundararajan et al.). They
+// require the network parameters (the very thing an API hides), which is
+// exactly the contrast the paper draws: OpenAPI matches or beats them with
+// API access only.
+package gradient
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/plm"
+	"repro/internal/sample"
+)
+
+// Method selects which gradient attribution is computed.
+type Method int
+
+const (
+	// Saliency is |∂ score_c / ∂x| (absolute, unsigned).
+	Saliency Method = iota
+	// GradientInput is (∂ score_c / ∂x) ⊙ x (signed).
+	GradientInput
+	// IntegratedGradients averages gradients on the straight path from a
+	// baseline to x and multiplies by (x − baseline).
+	IntegratedGradients
+	// SmoothGrad (Smilkov et al., 2017; cited in the paper's related work)
+	// averages gradients over Gaussian perturbations of x, visually
+	// de-noising the sensitivity map.
+	SmoothGrad
+)
+
+// String returns the method's display name.
+func (m Method) String() string {
+	switch m {
+	case Saliency:
+		return "SaliencyMaps"
+	case GradientInput:
+		return "Gradient*Input"
+	case IntegratedGradients:
+		return "IntegratedGradient"
+	case SmoothGrad:
+		return "SmoothGrad"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Config controls the gradient interpreters.
+type Config struct {
+	Method Method
+	// Steps is the Riemann resolution of Integrated Gradients and the
+	// sample count of SmoothGrad. Default 32.
+	Steps int
+	// Baseline is the IG reference point; nil means the all-zeros vector
+	// (the black image), as in the original paper.
+	Baseline mat.Vec
+	// NoiseSD is SmoothGrad's Gaussian noise scale. Default 0.1.
+	NoiseSD float64
+	// Seed seeds SmoothGrad's noise when RNG is nil.
+	Seed int64
+	// RNG, when non-nil, supplies SmoothGrad's noise.
+	RNG *rand.Rand
+}
+
+// GradFunc returns the gradient of class c's score with respect to x.
+type GradFunc func(x mat.Vec, c int) (mat.Vec, error)
+
+// Interpreter computes gradient attributions. It is white-box: the gradient
+// source must be supplied at construction, and Interpret verifies that the
+// model argument (when given) describes the same shapes.
+type Interpreter struct {
+	grad    GradFunc
+	dim     int
+	classes int
+	cfg     Config
+}
+
+// New returns a gradient interpreter over a ReLU network, differentiating
+// the class logits by backprop.
+func New(net *nn.Network, cfg Config) *Interpreter {
+	return newInterpreter(func(x mat.Vec, c int) (mat.Vec, error) {
+		return net.InputGradient(x, c), nil
+	}, net.InputDim(), net.Classes(), cfg)
+}
+
+// NewFromRegionModel returns a gradient interpreter over any white-box PLM:
+// the gradient of class c's logit at x is row c of the local classifier's
+// weight matrix. For a PLNN this coincides with backprop; for an LMT it is
+// the leaf classifier's weight row.
+func NewFromRegionModel(m plm.RegionModel, cfg Config) *Interpreter {
+	return newInterpreter(func(x mat.Vec, c int) (mat.Vec, error) {
+		local, err := m.LocalAt(x)
+		if err != nil {
+			return nil, err
+		}
+		return local.W.Row(c), nil
+	}, m.Dim(), m.Classes(), cfg)
+}
+
+func newInterpreter(grad GradFunc, dim, classes int, cfg Config) *Interpreter {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 32
+	}
+	if cfg.NoiseSD <= 0 {
+		cfg.NoiseSD = 0.1
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return &Interpreter{grad: grad, dim: dim, classes: classes, cfg: cfg}
+}
+
+var _ plm.Interpreter = (*Interpreter)(nil)
+
+// Name implements plm.Interpreter.
+func (g *Interpreter) Name() string { return g.cfg.Method.String() }
+
+// Interpret computes the attribution of class c's logit at x0. The model
+// argument is only shape-checked: gradients come from the stored source.
+func (g *Interpreter) Interpret(model plm.Model, x0 mat.Vec, c int) (*plm.Interpretation, error) {
+	if model != nil && (model.Dim() != g.dim || model.Classes() != g.classes) {
+		return nil, fmt.Errorf("gradient: model shape %dx%d does not match source %dx%d",
+			model.Dim(), model.Classes(), g.dim, g.classes)
+	}
+	if len(x0) != g.dim {
+		return nil, fmt.Errorf("gradient: instance length %d != %d", len(x0), g.dim)
+	}
+	if c < 0 || c >= g.classes {
+		return nil, fmt.Errorf("gradient: class %d out of range [0,%d)", c, g.classes)
+	}
+
+	var features mat.Vec
+	switch g.cfg.Method {
+	case Saliency:
+		grad, err := g.grad(x0, c)
+		if err != nil {
+			return nil, err
+		}
+		features = grad
+		for i, v := range features {
+			if v < 0 {
+				features[i] = -v
+			}
+		}
+	case GradientInput:
+		grad, err := g.grad(x0, c)
+		if err != nil {
+			return nil, err
+		}
+		features = grad
+		for i := range features {
+			features[i] *= x0[i]
+		}
+	case IntegratedGradients:
+		baseline := g.cfg.Baseline
+		if baseline == nil {
+			baseline = mat.NewVec(len(x0))
+		}
+		if len(baseline) != len(x0) {
+			return nil, fmt.Errorf("gradient: baseline length %d != %d", len(baseline), len(x0))
+		}
+		path := sample.LinearPath(baseline, x0, g.cfg.Steps)
+		avg := mat.NewVec(len(x0))
+		// Left Riemann sum over the path, matching the published
+		// implementation.
+		for _, p := range path[:len(path)-1] {
+			grad, err := g.grad(p, c)
+			if err != nil {
+				return nil, err
+			}
+			avg.AddInPlace(grad)
+		}
+		avg.ScaleInPlace(1 / float64(len(path)-1))
+		features = avg
+		for i := range features {
+			features[i] *= x0[i] - baseline[i]
+		}
+	case SmoothGrad:
+		avg := mat.NewVec(len(x0))
+		for s := 0; s < g.cfg.Steps; s++ {
+			noisy := x0.Clone()
+			for i := range noisy {
+				noisy[i] += g.cfg.NoiseSD * g.cfg.RNG.NormFloat64()
+			}
+			grad, err := g.grad(noisy, c)
+			if err != nil {
+				return nil, err
+			}
+			avg.AddInPlace(grad)
+		}
+		features = avg.ScaleInPlace(1 / float64(g.cfg.Steps))
+	default:
+		return nil, fmt.Errorf("gradient: unknown method %v", g.cfg.Method)
+	}
+	return &plm.Interpretation{
+		Class:      c,
+		Features:   features,
+		Queries:    0, // white-box: no API calls
+		Iterations: 1,
+	}, nil
+}

@@ -1,0 +1,188 @@
+package gradient
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func testNet(seed int64) *nn.Network {
+	return nn.New(rand.New(rand.NewSource(seed)), 4, 8, 3)
+}
+
+func randVec(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestSaliencyIsAbsGradient(t *testing.T) {
+	net := testNet(1)
+	rng := rand.New(rand.NewSource(2))
+	x := randVec(rng, 4)
+	g := New(net, Config{Method: Saliency})
+	got, err := g.Interpret(nil, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := net.InputGradient(x, 0)
+	for i := range grad {
+		if got.Features[i] != math.Abs(grad[i]) {
+			t.Fatalf("dim %d: %v != |%v|", i, got.Features[i], grad[i])
+		}
+		if got.Features[i] < 0 {
+			t.Fatal("saliency must be non-negative")
+		}
+	}
+}
+
+func TestGradientInput(t *testing.T) {
+	net := testNet(3)
+	rng := rand.New(rand.NewSource(4))
+	x := randVec(rng, 4)
+	g := New(net, Config{Method: GradientInput})
+	got, err := g.Interpret(nil, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := net.InputGradient(x, 1)
+	for i := range grad {
+		if diff := got.Features[i] - grad[i]*x[i]; math.Abs(diff) > 1e-12 {
+			t.Fatalf("dim %d off by %v", i, diff)
+		}
+	}
+}
+
+func TestIntegratedGradientsCompleteness(t *testing.T) {
+	// IG's completeness axiom: attributions sum to score(x) - score(baseline).
+	// With a left Riemann sum over a piecewise linear path the residual is
+	// bounded by the number of region crossings; use a generous tolerance.
+	net := testNet(5)
+	rng := rand.New(rand.NewSource(6))
+	x := randVec(rng, 4)
+	g := New(net, Config{Method: IntegratedGradients, Steps: 400})
+	got, err := g.Interpret(nil, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.Logits(x)[2] - net.Logits(mat.NewVec(4))[2]
+	if diff := math.Abs(got.Features.Sum() - want); diff > 0.05*(1+math.Abs(want)) {
+		t.Fatalf("completeness broken: sum %v vs %v", got.Features.Sum(), want)
+	}
+}
+
+func TestIntegratedGradientsCustomBaseline(t *testing.T) {
+	net := testNet(7)
+	rng := rand.New(rand.NewSource(8))
+	x := randVec(rng, 4)
+	// Baseline equal to x: attributions must vanish.
+	g := New(net, Config{Method: IntegratedGradients, Baseline: x.Clone()})
+	got, err := g.Interpret(nil, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features.NormInf() > 1e-12 {
+		t.Fatalf("zero path should give zero attributions: %v", got.Features)
+	}
+	// Wrong-length baseline rejected.
+	bad := New(net, Config{Method: IntegratedGradients, Baseline: mat.Vec{1}})
+	if _, err := bad.Interpret(nil, x, 0); err == nil {
+		t.Fatal("bad baseline accepted")
+	}
+}
+
+func TestGradientInsideRegionMatchesOpenBoxRow(t *testing.T) {
+	// Inside a region the gradient of logit c is exactly row c of the
+	// effective weight matrix.
+	net := testNet(9)
+	model := &openbox.PLNN{Net: net}
+	rng := rand.New(rand.NewSource(10))
+	x := randVec(rng, 4)
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := net.InputGradient(x, 0)
+	if !grad.EqualApprox(truth.W.Row(0), 1e-10) {
+		t.Fatalf("gradient %v != W row %v", grad, truth.W.Row(0))
+	}
+}
+
+func TestGradientValidation(t *testing.T) {
+	net := testNet(11)
+	g := New(net, Config{Method: Saliency})
+	if _, err := g.Interpret(nil, mat.Vec{1}, 0); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := g.Interpret(nil, mat.Vec{1, 2, 3, 4}, 9); err == nil {
+		t.Fatal("bad class accepted")
+	}
+	// Mismatched model shape rejected.
+	other := &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(12)), 2, 3, 2)}
+	if _, err := g.Interpret(other, mat.Vec{1, 2, 3, 4}, 0); err == nil {
+		t.Fatal("mismatched model accepted")
+	}
+	// Matching model accepted.
+	same := &openbox.PLNN{Net: net}
+	if _, err := g.Interpret(same, mat.Vec{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := New(net, Config{Method: Method(42)})
+	if _, err := bad.Interpret(nil, mat.Vec{1, 2, 3, 4}, 0); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	if Saliency.String() != "SaliencyMaps" ||
+		GradientInput.String() != "Gradient*Input" ||
+		IntegratedGradients.String() != "IntegratedGradient" {
+		t.Fatal("method names wrong")
+	}
+	net := testNet(13)
+	if New(net, Config{Method: GradientInput}).Name() != "Gradient*Input" {
+		t.Fatal("interpreter name wrong")
+	}
+}
+
+func TestNewFromRegionModelMatchesBackprop(t *testing.T) {
+	// The region-model gradient (row c of the local W) must equal backprop
+	// for a PLNN, for every method.
+	net := testNet(15)
+	model := &openbox.PLNN{Net: net}
+	rng := rand.New(rand.NewSource(16))
+	x := randVec(rng, 4)
+	for _, m := range []Method{Saliency, GradientInput, IntegratedGradients} {
+		a := New(net, Config{Method: m, Steps: 64})
+		b := NewFromRegionModel(model, Config{Method: m, Steps: 64})
+		ia, err := a.Interpret(nil, x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ib, err := b.Interpret(nil, x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ia.Features.EqualApprox(ib.Features, 1e-9) {
+			t.Fatalf("%v: backprop %v vs region-model %v", m, ia.Features, ib.Features)
+		}
+	}
+}
+
+func TestGradientZeroQueries(t *testing.T) {
+	net := testNet(14)
+	g := New(net, Config{Method: Saliency})
+	got, err := g.Interpret(nil, mat.Vec{0.1, 0.2, 0.3, 0.4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Queries != 0 {
+		t.Fatalf("white-box method reported %d queries", got.Queries)
+	}
+}

@@ -1,0 +1,81 @@
+package gradient
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSmoothGradApproachesGradientAtTinyNoise(t *testing.T) {
+	// With noise far below the distance to any region boundary, every
+	// perturbed gradient equals the local gradient, so SmoothGrad must
+	// return it exactly.
+	net := testNet(20)
+	rng := rand.New(rand.NewSource(21))
+	x := randVec(rng, 4)
+	grad := net.InputGradient(x, 0)
+	g := New(net, Config{Method: SmoothGrad, Steps: 16, NoiseSD: 1e-9, Seed: 22})
+	got, err := g.Interpret(nil, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Features.EqualApprox(grad, 1e-6) {
+		t.Fatalf("SmoothGrad %v != gradient %v", got.Features, grad)
+	}
+}
+
+func TestSmoothGradSmoothsAcrossRegions(t *testing.T) {
+	// With large noise the average blends gradients from several regions;
+	// the result should differ from the single-point gradient for a
+	// network with nearby boundaries.
+	net := testNet(23)
+	rng := rand.New(rand.NewSource(24))
+	var x mat.Vec
+	// Find a point whose neighbourhood spans regions (gradient changes).
+	for tries := 0; tries < 100; tries++ {
+		x = randVec(rng, 4)
+		base := net.InputGradient(x, 0)
+		moved := x.Clone()
+		for i := range moved {
+			moved[i] += 0.5
+		}
+		if !net.InputGradient(moved, 0).EqualApprox(base, 1e-9) {
+			break
+		}
+	}
+	g := New(net, Config{Method: SmoothGrad, Steps: 64, NoiseSD: 1.0, Seed: 25})
+	got, err := g.Interpret(nil, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features.EqualApprox(net.InputGradient(x, 0), 1e-12) {
+		t.Fatal("large-noise SmoothGrad identical to point gradient; smoothing had no effect")
+	}
+	if got.Features.HasNaN() {
+		t.Fatal("NaN in SmoothGrad output")
+	}
+}
+
+func TestSmoothGradReproducible(t *testing.T) {
+	net := testNet(26)
+	rng := rand.New(rand.NewSource(27))
+	x := randVec(rng, 4)
+	a, err := New(net, Config{Method: SmoothGrad, Seed: 5}).Interpret(nil, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(net, Config{Method: SmoothGrad, Seed: 5}).Interpret(nil, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Features.EqualApprox(b.Features, 0) {
+		t.Fatal("same seed produced different SmoothGrad maps")
+	}
+}
+
+func TestSmoothGradName(t *testing.T) {
+	if SmoothGrad.String() != "SmoothGrad" {
+		t.Fatalf("name = %q", SmoothGrad.String())
+	}
+}

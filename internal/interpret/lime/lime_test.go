@@ -1,0 +1,173 @@
+package lime
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func plnnModel(seed int64, sizes ...int) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), sizes...)}
+}
+
+func randVec(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestLinearLIMENearExactInsideRegion(t *testing.T) {
+	// When every perturbed instance shares x0's region, the log-odds target
+	// is exactly linear, so OLS recovers the core parameters up to
+	// conditioning error.
+	model := plnnModel(1, 4, 8, 3)
+	rng := rand.New(rand.NewSource(2))
+	l := New(Config{H: 1e-5, Seed: 3})
+	for trial := 0; trial < 5; trial++ {
+		x := randVec(rng, 4)
+		truth, err := model.LocalAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.Predict(x).ArgMax()
+		got, err := l.Interpret(model, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist := got.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-2 {
+			t.Fatalf("inside-region L1Dist = %v", dist)
+		}
+	}
+}
+
+func TestRidgeLIMECrushesCoefficientsAtTinyH(t *testing.T) {
+	// The paper's §V-D observation: with a tiny perturbation distance the
+	// design matrix variation is microscopic, so any nonzero ridge penalty
+	// drives the surrogate toward a constant — coefficients near zero,
+	// far from the truth.
+	model := plnnModel(4, 4, 8, 3)
+	rng := rand.New(rand.NewSource(5))
+	x := randVec(rng, 4)
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := model.Predict(x).ArgMax()
+	want := truth.DecisionFeatures(c)
+	if want.Norm2() < 1e-6 {
+		t.Skip("degenerate region with zero decision features")
+	}
+	ridge := New(Config{H: 1e-8, Ridge: 1.0, Seed: 6})
+	got, err := ridge.Interpret(model, x, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features.Norm2() > 0.01*want.Norm2() {
+		t.Fatalf("ridge at tiny h should crush coefficients: |got|=%v |want|=%v",
+			got.Features.Norm2(), want.Norm2())
+	}
+}
+
+func TestRidgeBeatsNothingButRunsAtModerateH(t *testing.T) {
+	model := plnnModel(7, 3, 6, 2)
+	rng := rand.New(rand.NewSource(8))
+	x := randVec(rng, 3)
+	l := New(Config{H: 1e-2, Ridge: 1e-6, Seed: 9})
+	got, err := l.Interpret(model, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Features) != 3 {
+		t.Fatalf("features length %d", len(got.Features))
+	}
+}
+
+func TestProbabilityModeShape(t *testing.T) {
+	model := plnnModel(10, 4, 6, 3)
+	rng := rand.New(rand.NewSource(11))
+	x := randVec(rng, 4)
+	l := New(Config{H: 1e-3, Mode: FitProbability, Seed: 12})
+	got, err := l.Interpret(model, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Features) != 4 {
+		t.Fatalf("features length %d", len(got.Features))
+	}
+	if got.PairDiffs != nil {
+		t.Fatal("probability mode should not produce pair diffs")
+	}
+	// Probability-mode coefficients approximate the gradient of y_c, which
+	// inside a region is p_c(x)·(D_c-ish); just verify a strong positive
+	// cosine with the finite-difference gradient.
+	const h = 1e-6
+	fd := make(mat.Vec, 4)
+	for i := range x {
+		xp, xm := x.Clone(), x.Clone()
+		xp[i] += h
+		xm[i] -= h
+		fd[i] = (model.Predict(xp)[1] - model.Predict(xm)[1]) / (2 * h)
+	}
+	if cs := got.Features.Cosine(fd); cs < 0.99 {
+		t.Fatalf("probability-mode cosine vs gradient = %v", cs)
+	}
+}
+
+func TestLIMEValidation(t *testing.T) {
+	model := plnnModel(13, 3, 4, 2)
+	l := New(Config{Seed: 14})
+	if _, err := l.Interpret(model, mat.Vec{1}, 0); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := l.Interpret(model, mat.Vec{1, 2, 3}, 5); err == nil {
+		t.Fatal("bad class accepted")
+	}
+	tooFew := New(Config{NumSamples: 2, Seed: 15})
+	if _, err := tooFew.Interpret(model, mat.Vec{1, 2, 3}, 0); err == nil {
+		t.Fatal("underdetermined sample count accepted")
+	}
+}
+
+func TestLIMENames(t *testing.T) {
+	if got := New(Config{H: 1e-4}).Name(); got != "LIME-Linear(h=1e-04)" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := New(Config{H: 1e-2, Ridge: 1}).Name(); got != "LIME-Ridge(h=1e-02)" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := New(Config{Mode: FitProbability}).Name(); !strings.Contains(got, "Prob") {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestLIMEQueryCount(t *testing.T) {
+	model := plnnModel(16, 4, 5, 2)
+	l := New(Config{H: 1e-4, NumSamples: 30, Seed: 17})
+	rng := rand.New(rand.NewSource(18))
+	got, err := l.Interpret(model, randVec(rng, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Queries != 30 {
+		t.Fatalf("queries = %d, want 30", got.Queries)
+	}
+}
+
+func TestLIMESamplePoints(t *testing.T) {
+	l := New(Config{H: 0.2, NumSamples: 12, Seed: 19})
+	pts := l.SamplePoints(mat.Vec{0, 0})
+	if len(pts) != 12 {
+		t.Fatalf("SamplePoints returned %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.NormInf() > 0.1+1e-12 {
+			t.Fatalf("point %v escaped hypercube", p)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package naive implements the paper's §IV-B strawman: solve the determined
+// system Ω_{d+1} built from x0 and d perturbed instances at a *fixed*
+// perturbation distance h, with no consistency check. It is exact when every
+// sampled point happens to share x0's locally linear region and arbitrarily
+// wrong otherwise (Theorem 1) — which is precisely what Figures 5-7 measure.
+package naive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+	"repro/internal/sample"
+)
+
+// Config controls the naive interpreter.
+type Config struct {
+	// H is the fixed hypercube edge length (the paper evaluates 1e-8, 1e-4,
+	// 1e-2). Default 1e-4.
+	H float64
+	// Seed seeds the sampler when RNG is nil.
+	Seed int64
+	// RNG, when non-nil, supplies all randomness.
+	RNG *rand.Rand
+	// MaxResample bounds retries when the sampled coefficient matrix is
+	// numerically singular (probability 0 in theory). Default 5.
+	MaxResample int
+}
+
+func (c *Config) setDefaults() {
+	if c.H <= 0 {
+		c.H = 1e-4
+	}
+	if c.RNG == nil {
+		c.RNG = rand.New(rand.NewSource(c.Seed))
+	}
+	if c.MaxResample <= 0 {
+		c.MaxResample = 5
+	}
+}
+
+// Naive is the determined-system interpreter.
+type Naive struct {
+	cfg Config
+}
+
+// New returns a naive interpreter with the given configuration.
+func New(cfg Config) *Naive {
+	cfg.setDefaults()
+	return &Naive{cfg: cfg}
+}
+
+var _ plm.Interpreter = (*Naive)(nil)
+
+// Name implements plm.Interpreter.
+func (n *Naive) Name() string { return fmt.Sprintf("Naive(h=%.0e)", n.cfg.H) }
+
+// Interpret solves Ω_{d+1} once per class pair and averages into D_c.
+// Unlike OpenAPI it never verifies the solution.
+func (n *Naive) Interpret(model plm.Model, x0 mat.Vec, c int) (*plm.Interpretation, error) {
+	n.cfg.setDefaults()
+	d := model.Dim()
+	C := model.Classes()
+	if len(x0) != d {
+		return nil, fmt.Errorf("naive: instance length %d != model dim %d", len(x0), d)
+	}
+	if c < 0 || c >= C {
+		return nil, fmt.Errorf("naive: class %d out of range [0,%d)", c, C)
+	}
+
+	y0 := model.Predict(x0)
+	queries := 1
+	cube := sample.NewHypercube(x0, n.cfg.H)
+
+	for attempt := 0; attempt < n.cfg.MaxResample; attempt++ {
+		pts := cube.SampleN(n.cfg.RNG, d)
+		eqX := append([]mat.Vec{x0}, pts...)
+		ys := make([]mat.Vec, len(pts))
+		for i, p := range pts {
+			ys[i] = model.Predict(p)
+		}
+		queries += len(pts)
+		eqY := append([]mat.Vec{y0}, ys...)
+
+		a := mat.NewDense(d+1, d+1)
+		for i, x := range eqX {
+			row := a.RawRow(i)
+			row[0] = 1
+			copy(row[1:], x)
+		}
+		lu, err := mat.Factor(a)
+		if err != nil {
+			continue // singular draw: resample at the same h
+		}
+		diffs := make([]mat.Vec, C)
+		biases := make([]float64, C)
+		features := mat.NewVec(d)
+		ok := true
+		for cp := 0; cp < C && ok; cp++ {
+			if cp == c {
+				continue
+			}
+			rhs := make(mat.Vec, d+1)
+			for i := range eqX {
+				rhs[i] = plm.LogOdds(eqY[i], c, cp)
+			}
+			beta, err := lu.SolveVec(rhs)
+			if err != nil || mat.Vec(beta).HasNaN() {
+				ok = false
+				break
+			}
+			diffs[cp] = mat.Vec(beta[1:])
+			biases[cp] = beta[0]
+			features.AddInPlace(diffs[cp])
+		}
+		if !ok {
+			continue
+		}
+		features.ScaleInPlace(1 / float64(C-1))
+		return &plm.Interpretation{
+			Class:      c,
+			Features:   features,
+			PairDiffs:  diffs,
+			Biases:     biases,
+			Samples:    pts,
+			Queries:    queries,
+			Iterations: attempt + 1,
+			FinalEdge:  n.cfg.H,
+		}, nil
+	}
+	return nil, fmt.Errorf("naive: coefficient matrix singular after %d resamples", n.cfg.MaxResample)
+}
+
+// SamplePoints exposes the perturbation scheme so the evaluation harness can
+// grade sample quality (Figures 5 and 6) without re-implementing it.
+func (n *Naive) SamplePoints(x0 mat.Vec) []mat.Vec {
+	n.cfg.setDefaults()
+	cube := sample.NewHypercube(x0, n.cfg.H)
+	return cube.SampleN(n.cfg.RNG, len(x0))
+}

@@ -1,0 +1,129 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func plnnModel(seed int64, sizes ...int) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), sizes...)}
+}
+
+func randVec(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// boundaryModel is a two-region PLNN: region boundary at x[0] = 0.
+func boundaryModel() *openbox.PLNN {
+	w1 := mat.FromRows(mat.Vec{1, 0})
+	w2 := mat.FromRows(mat.Vec{1}, mat.Vec{-1})
+	net := nn.FromLayers(
+		nn.Layer{W: w1, B: mat.Vec{0}},
+		nn.Layer{W: w2, B: mat.Vec{0, 0}},
+	)
+	return &openbox.PLNN{Net: net}
+}
+
+func TestNaiveExactInsideRegion(t *testing.T) {
+	// With h far smaller than the distance to any boundary, the ideal case
+	// of §IV-B holds and the naive method is exact.
+	model := plnnModel(1, 5, 8, 3)
+	rng := rand.New(rand.NewSource(2))
+	n := New(Config{H: 1e-6, Seed: 3})
+	for trial := 0; trial < 5; trial++ {
+		x := randVec(rng, 5)
+		truth, err := model.LocalAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.Predict(x).ArgMax()
+		got, err := n.Interpret(model, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist := got.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-3 {
+			t.Fatalf("inside-region L1Dist = %v", dist)
+		}
+	}
+}
+
+func TestNaiveWrongAcrossBoundary(t *testing.T) {
+	// The instance sits 0.001 from the boundary; with h = 1.0 nearly every
+	// sample lands in the other region, so the determined system mixes two
+	// different linear classifiers and the answer is garbage (Theorem 1).
+	model := boundaryModel()
+	x := mat.Vec{0.001, 0.4}
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth.DecisionFeatures(0) // = (2, 0) in the active region
+	n := New(Config{H: 1.0, Seed: 4})
+	got, err := n.Interpret(model, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := got.Features.L1Dist(want); dist < 0.1 {
+		t.Fatalf("naive method should fail across the boundary, L1Dist = %v", dist)
+	}
+}
+
+func TestNaiveValidation(t *testing.T) {
+	model := plnnModel(5, 3, 4, 2)
+	n := New(Config{Seed: 6})
+	if _, err := n.Interpret(model, mat.Vec{1}, 0); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := n.Interpret(model, mat.Vec{1, 2, 3}, 7); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestNaiveName(t *testing.T) {
+	if got := New(Config{H: 1e-2}).Name(); got != "Naive(h=1e-02)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestNaiveQueryCount(t *testing.T) {
+	model := plnnModel(7, 4, 6, 2)
+	n := New(Config{H: 1e-6, Seed: 8})
+	rng := rand.New(rand.NewSource(9))
+	got, err := n.Interpret(model, randVec(rng, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Queries != 1+4 {
+		t.Fatalf("queries = %d, want 5", got.Queries)
+	}
+	if got.FinalEdge != 1e-6 {
+		t.Fatalf("FinalEdge = %v", got.FinalEdge)
+	}
+	if got.Exact {
+		t.Fatal("naive must not claim exactness")
+	}
+}
+
+func TestNaiveSamplePoints(t *testing.T) {
+	n := New(Config{H: 0.5, Seed: 10})
+	x := mat.Vec{1, 2, 3}
+	pts := n.SamplePoints(x)
+	if len(pts) != 3 {
+		t.Fatalf("SamplePoints returned %d", len(pts))
+	}
+	for _, p := range pts {
+		for i := range p {
+			if p[i] < x[i]-0.25 || p[i] > x[i]+0.25 {
+				t.Fatalf("point %v escaped hypercube", p)
+			}
+		}
+	}
+}

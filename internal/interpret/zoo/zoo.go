@@ -1,0 +1,108 @@
+// Package zoo adapts the zeroth-order-optimization gradient estimator of
+// Chen et al. (AISec 2017) into an interpreter, following the paper's §V
+// baseline construction: since d/dx ln(y_c/y_{c'}) = D_{c,c'} inside a
+// locally linear region, the symmetric difference quotient along each axis
+// at a fixed probe distance h estimates the core-parameter vector directly.
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+	"repro/internal/sample"
+)
+
+// Config controls the estimator.
+type Config struct {
+	// H is the one-sided probe distance along each axis (the paper
+	// evaluates 1e-8, 1e-4, 1e-2). Default 1e-4.
+	H float64
+}
+
+func (c *Config) setDefaults() {
+	if c.H <= 0 {
+		c.H = 1e-4
+	}
+}
+
+// ZOO is the finite-difference interpreter.
+type ZOO struct {
+	cfg Config
+}
+
+// New returns a ZOO interpreter with the given configuration.
+func New(cfg Config) *ZOO {
+	cfg.setDefaults()
+	return &ZOO{cfg: cfg}
+}
+
+var _ plm.Interpreter = (*ZOO)(nil)
+
+// Name implements plm.Interpreter.
+func (z *ZOO) Name() string { return fmt.Sprintf("ZOO(h=%.0e)", z.cfg.H) }
+
+// Interpret estimates every D_{c,c'} from 2d axis probes (shared across all
+// class pairs) and averages into D_c. The bias B_{c,c'} is closed from the
+// center response: B = ln(y_c/y_{c'})(x0) − D·x0.
+func (z *ZOO) Interpret(model plm.Model, x0 mat.Vec, c int) (*plm.Interpretation, error) {
+	z.cfg.setDefaults()
+	d := model.Dim()
+	C := model.Classes()
+	if len(x0) != d {
+		return nil, fmt.Errorf("zoo: instance length %d != model dim %d", len(x0), d)
+	}
+	if c < 0 || c >= C {
+		return nil, fmt.Errorf("zoo: class %d out of range [0,%d)", c, C)
+	}
+
+	y0 := model.Predict(x0)
+	queries := 1
+	pairs := sample.AxisPairs(x0, z.cfg.H)
+	plus := make([]mat.Vec, d)
+	minus := make([]mat.Vec, d)
+	probes := make([]mat.Vec, 0, 2*d)
+	for i, pr := range pairs {
+		plus[i] = model.Predict(pr[0])
+		minus[i] = model.Predict(pr[1])
+		probes = append(probes, pr[0], pr[1])
+		queries += 2
+	}
+
+	diffs := make([]mat.Vec, C)
+	biases := make([]float64, C)
+	features := mat.NewVec(d)
+	for cp := 0; cp < C; cp++ {
+		if cp == c {
+			continue
+		}
+		g := make(mat.Vec, d)
+		for i := 0; i < d; i++ {
+			g[i] = (plm.LogOdds(plus[i], c, cp) - plm.LogOdds(minus[i], c, cp)) / (2 * z.cfg.H)
+		}
+		diffs[cp] = g
+		biases[cp] = plm.LogOdds(y0, c, cp) - g.Dot(x0)
+		features.AddInPlace(g)
+	}
+	features.ScaleInPlace(1 / float64(C-1))
+	return &plm.Interpretation{
+		Class:      c,
+		Features:   features,
+		PairDiffs:  diffs,
+		Biases:     biases,
+		Samples:    probes,
+		Queries:    queries,
+		Iterations: 1,
+		FinalEdge:  2 * z.cfg.H, // probes span a cube of edge 2h
+	}, nil
+}
+
+// SamplePoints exposes the 2d probe points for the sample-quality metrics.
+func (z *ZOO) SamplePoints(x0 mat.Vec) []mat.Vec {
+	z.cfg.setDefaults()
+	out := make([]mat.Vec, 0, 2*len(x0))
+	for _, pr := range sample.AxisPairs(x0, z.cfg.H) {
+		out = append(out, pr[0], pr[1])
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package zoo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func plnnModel(seed int64, sizes ...int) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), sizes...)}
+}
+
+func randVec(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestZOOExactInsideRegion(t *testing.T) {
+	// Inside a locally linear region the symmetric difference quotient of a
+	// linear function is exact for any h that keeps both probes inside.
+	model := plnnModel(1, 5, 8, 3)
+	rng := rand.New(rand.NewSource(2))
+	z := New(Config{H: 1e-7})
+	for trial := 0; trial < 5; trial++ {
+		x := randVec(rng, 5)
+		truth, err := model.LocalAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.Predict(x).ArgMax()
+		got, err := z.Interpret(model, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist := got.Features.L1Dist(truth.DecisionFeatures(c)); dist > 1e-3 {
+			t.Fatalf("inside-region L1Dist = %v", dist)
+		}
+	}
+}
+
+func TestZOOBiasRecovery(t *testing.T) {
+	model := plnnModel(3, 4, 7, 3)
+	rng := rand.New(rand.NewSource(4))
+	x := randVec(rng, 4)
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := New(Config{H: 1e-7})
+	got, err := z.Interpret(model, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := 1; cp < 3; cp++ {
+		_, wantB := truth.CoreParams(0, cp)
+		if math.Abs(got.Biases[cp]-wantB) > 1e-3*(1+math.Abs(wantB)) {
+			t.Fatalf("pair (0,%d): bias %v vs %v", cp, got.Biases[cp], wantB)
+		}
+	}
+}
+
+func TestZOOQueryCount(t *testing.T) {
+	model := plnnModel(5, 6, 4, 2)
+	z := New(Config{H: 1e-6})
+	rng := rand.New(rand.NewSource(6))
+	got, err := z.Interpret(model, randVec(rng, 6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Queries != 1+2*6 {
+		t.Fatalf("queries = %d, want 13", got.Queries)
+	}
+}
+
+func TestZOOLargeHBlursBoundaries(t *testing.T) {
+	// A probe distance larger than the distance to the nearest boundary
+	// mixes two regions; the estimate should then deviate from the region's
+	// exact decision features.
+	w1 := mat.FromRows(mat.Vec{1, 0})
+	w2 := mat.FromRows(mat.Vec{1}, mat.Vec{-1})
+	net := nn.FromLayers(
+		nn.Layer{W: w1, B: mat.Vec{0}},
+		nn.Layer{W: w2, B: mat.Vec{0, 0}},
+	)
+	model := &openbox.PLNN{Net: net}
+	x := mat.Vec{0.01, 0}
+	truth, err := model.LocalAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth.DecisionFeatures(0)
+
+	exact := New(Config{H: 1e-3}) // both probes stay in x[0] > 0
+	gotExact, err := exact.Interpret(model, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := gotExact.Features.L1Dist(want); dist > 1e-6 {
+		t.Fatalf("small-h ZOO should be exact, L1Dist = %v", dist)
+	}
+
+	blurred := New(Config{H: 0.5}) // minus-probe crosses into x[0] < 0
+	gotBlur, err := blurred.Interpret(model, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := gotBlur.Features.L1Dist(want); dist < 0.1 {
+		t.Fatalf("large-h ZOO should blur the boundary, L1Dist = %v", dist)
+	}
+}
+
+func TestZOOValidation(t *testing.T) {
+	model := plnnModel(7, 3, 4, 2)
+	z := New(Config{})
+	if _, err := z.Interpret(model, mat.Vec{1}, 0); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := z.Interpret(model, mat.Vec{1, 2, 3}, -1); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestZOOName(t *testing.T) {
+	if got := New(Config{H: 1e-8}).Name(); got != "ZOO(h=1e-08)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestZOOSamplePoints(t *testing.T) {
+	z := New(Config{H: 0.5})
+	pts := z.SamplePoints(mat.Vec{1, 2})
+	if len(pts) != 4 {
+		t.Fatalf("SamplePoints returned %d", len(pts))
+	}
+	if pts[0][0] != 1.5 || pts[1][0] != 0.5 {
+		t.Fatalf("axis-0 probes wrong: %v %v", pts[0], pts[1])
+	}
+}

@@ -1,0 +1,185 @@
+// Package lmt implements the paper's second target model family: logistic
+// model trees (Landwehr et al., 2005) — a C4.5-style decision tree whose
+// leaves carry sparse multinomial logistic regression classifiers. Each leaf
+// is an axis-aligned box of the input space and therefore an exact locally
+// linear region, which makes the LMT a PLM with trivially extractable ground
+// truth: the leaf's (W, b) are the region's core parameters.
+package lmt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/plm"
+)
+
+// LogReg is a multinomial (softmax) logistic regression classifier with
+// weights stored row-per-class.
+type LogReg struct {
+	W *mat.Dense // C x d
+	B mat.Vec    // C
+}
+
+// LogRegConfig controls full-batch proximal gradient training. The L1
+// penalty implements the paper's "sparse multinomial logistic regression"
+// via soft-thresholding after each gradient step.
+type LogRegConfig struct {
+	Epochs       int     // gradient steps (default 200)
+	LearningRate float64 // step size (default 0.5)
+	L1           float64 // L1 penalty weight (default 1e-4)
+}
+
+func (c *LogRegConfig) setDefaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.5
+	}
+	if c.L1 < 0 {
+		c.L1 = 0
+	} else if c.L1 == 0 {
+		c.L1 = 1e-4
+	}
+}
+
+// TrainLogReg fits a softmax regression on (xs, labels) with classes in
+// [0, classes). Training is deterministic (full-batch), so no RNG is needed.
+func TrainLogReg(xs []mat.Vec, labels []int, classes int, cfg LogRegConfig) (*LogReg, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("lmt: empty training set")
+	}
+	if len(xs) != len(labels) {
+		return nil, fmt.Errorf("lmt: %d inputs vs %d labels", len(xs), len(labels))
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("lmt: need at least 2 classes, got %d", classes)
+	}
+	d := len(xs[0])
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("lmt: ragged input %d: %d vs %d", i, len(x), d)
+		}
+	}
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("lmt: label %d of sample %d out of range [0,%d)", y, i, classes)
+		}
+	}
+	cfg.setDefaults()
+
+	lr := &LogReg{W: mat.NewDense(classes, d), B: mat.NewVec(classes)}
+	n := float64(len(xs))
+	gW := mat.NewDense(classes, d)
+	gB := mat.NewVec(classes)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Zero gradients.
+		for r := 0; r < classes; r++ {
+			gW.RawRow(r).Fill(0)
+		}
+		gB.Fill(0)
+		// Accumulate softmax cross-entropy gradients.
+		for i, x := range xs {
+			p := lr.Predict(x)
+			p[labels[i]] -= 1
+			for r, pr := range p {
+				if pr == 0 {
+					continue
+				}
+				gB[r] += pr
+				row := gW.RawRow(r)
+				for j, xv := range x {
+					row[j] += pr * xv
+				}
+			}
+		}
+		step := cfg.LearningRate / n
+		thresh := cfg.LearningRate * cfg.L1
+		for r := 0; r < classes; r++ {
+			wrow := lr.W.RawRow(r)
+			grow := gW.RawRow(r)
+			for j := range wrow {
+				w := wrow[j] - step*grow[j]
+				// Proximal soft-threshold for the L1 penalty.
+				switch {
+				case w > thresh:
+					w -= thresh
+				case w < -thresh:
+					w += thresh
+				default:
+					w = 0
+				}
+				wrow[j] = w
+			}
+			lr.B[r] -= step * gB[r] // biases are unpenalized
+		}
+	}
+	return lr, nil
+}
+
+// Predict returns softmax class probabilities for x.
+func (lr *LogReg) Predict(x mat.Vec) mat.Vec {
+	return nn.Softmax(lr.W.MulVec(x).AddInPlace(lr.B.Clone()))
+}
+
+// PredictLabel returns the argmax class for x.
+func (lr *LogReg) PredictLabel(x mat.Vec) int {
+	return lr.W.MulVec(x).AddInPlace(lr.B.Clone()).ArgMax()
+}
+
+// Accuracy returns the fraction of xs classified as labels.
+func (lr *LogReg) Accuracy(xs []mat.Vec, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if lr.PredictLabel(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// Sparsity returns the fraction of exactly-zero weights — the visible effect
+// of the L1 penalty (the paper notes LMT decision features are sparser than
+// the PLNN's).
+func (lr *LogReg) Sparsity() float64 {
+	r, c := lr.W.Dims()
+	if r*c == 0 {
+		return 0
+	}
+	zeros := 0
+	for i := 0; i < r; i++ {
+		for _, v := range lr.W.RawRow(i) {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	return float64(zeros) / float64(r*c)
+}
+
+// Linear exposes the classifier as a locally linear region classifier.
+func (lr *LogReg) Linear(key string) (*plm.Linear, error) {
+	return plm.NewLinear(lr.W.Clone(), lr.B.Clone(), key)
+}
+
+// Loss returns the mean cross-entropy over (xs, labels).
+func (lr *LogReg) Loss(xs []mat.Vec, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total float64
+	for i, x := range xs {
+		p := lr.Predict(x)
+		v := p[labels[i]]
+		if v < 1e-300 {
+			v = 1e-300
+		}
+		total -= math.Log(v)
+	}
+	return total / float64(len(xs))
+}

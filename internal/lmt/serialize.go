@@ -1,0 +1,137 @@
+package lmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/mat"
+)
+
+const treeFormatTag = "openapi-lmt-v1"
+
+type treeJSON struct {
+	Format  string    `json:"format"`
+	Dim     int       `json:"dim"`
+	Classes int       `json:"classes"`
+	Leaves  int       `json:"leaves"`
+	Root    *nodeJSON `json:"root"`
+}
+
+type nodeJSON struct {
+	Feature   int         `json:"feature,omitempty"`
+	Threshold float64     `json:"threshold,omitempty"`
+	Left      *nodeJSON   `json:"left,omitempty"`
+	Right     *nodeJSON   `json:"right,omitempty"`
+	LeafID    int         `json:"leaf_id,omitempty"`
+	W         [][]float64 `json:"w,omitempty"`
+	B         []float64   `json:"b,omitempty"`
+}
+
+func encodeNode(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		out := &nodeJSON{LeafID: n.LeafID, B: n.Leaf.B.Clone()}
+		out.W = make([][]float64, n.Leaf.W.Rows())
+		for r := range out.W {
+			out.W[r] = n.Leaf.W.Row(r)
+		}
+		return out
+	}
+	return &nodeJSON{
+		Feature:   n.Feature,
+		Threshold: n.Threshold,
+		Left:      encodeNode(n.Left),
+		Right:     encodeNode(n.Right),
+	}
+}
+
+func decodeNode(nj *nodeJSON, dim, classes int) (*Node, error) {
+	if nj == nil {
+		return nil, fmt.Errorf("lmt: nil node in serialized tree")
+	}
+	if nj.W != nil {
+		if len(nj.W) != classes || len(nj.B) != classes {
+			return nil, fmt.Errorf("lmt: leaf %d has %d weight rows and %d biases, want %d",
+				nj.LeafID, len(nj.W), len(nj.B), classes)
+		}
+		w := mat.NewDense(classes, dim)
+		for r, row := range nj.W {
+			if len(row) != dim {
+				return nil, fmt.Errorf("lmt: leaf %d row %d has %d cols, want %d", nj.LeafID, r, len(row), dim)
+			}
+			w.SetRow(r, row)
+		}
+		return &Node{Leaf: &LogReg{W: w, B: append(mat.Vec(nil), nj.B...)}, LeafID: nj.LeafID}, nil
+	}
+	if nj.Feature < 0 || nj.Feature >= dim {
+		return nil, fmt.Errorf("lmt: split feature %d out of range %d", nj.Feature, dim)
+	}
+	left, err := decodeNode(nj.Left, dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	right, err := decodeNode(nj.Right, dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Feature: nj.Feature, Threshold: nj.Threshold, Left: left, Right: right}, nil
+}
+
+// MarshalJSON encodes the tree structure and every leaf classifier.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{
+		Format:  treeFormatTag,
+		Dim:     t.dim,
+		Classes: t.classes,
+		Leaves:  t.numLeaves,
+		Root:    encodeNode(t.Root),
+	})
+}
+
+// UnmarshalJSON decodes a tree written by MarshalJSON, validating shapes.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var tj treeJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return fmt.Errorf("lmt: decode: %w", err)
+	}
+	if tj.Format != treeFormatTag {
+		return fmt.Errorf("lmt: unknown format %q (want %q)", tj.Format, treeFormatTag)
+	}
+	if tj.Dim <= 0 || tj.Classes < 2 {
+		return fmt.Errorf("lmt: invalid dims %dx%d", tj.Dim, tj.Classes)
+	}
+	root, err := decodeNode(tj.Root, tj.Dim, tj.Classes)
+	if err != nil {
+		return err
+	}
+	t.dim, t.classes, t.numLeaves, t.Root = tj.Dim, tj.Classes, tj.Leaves, root
+	return nil
+}
+
+// Save writes the tree to path as JSON.
+func (t *Tree) Save(path string) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("lmt: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("lmt: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a tree saved by Save.
+func Load(path string) (*Tree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lmt: load %s: %w", path, err)
+	}
+	var t Tree
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,339 @@
+package lmt
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// checkerboard builds a 2-d dataset a single linear model cannot fit but a
+// small tree of linear models can: four quadrants, diagonal quadrants share
+// a class (XOR layout).
+func checkerboard(rng *rand.Rand, perQuadrant int) ([]mat.Vec, []int) {
+	xs := make([]mat.Vec, 0, 4*perQuadrant)
+	ys := make([]int, 0, 4*perQuadrant)
+	quads := []struct {
+		cx, cy float64
+		label  int
+	}{
+		{2, 2, 0}, {-2, -2, 0}, {2, -2, 1}, {-2, 2, 1},
+	}
+	for _, q := range quads {
+		for i := 0; i < perQuadrant; i++ {
+			xs = append(xs, mat.Vec{q.cx + rng.NormFloat64()*0.5, q.cy + rng.NormFloat64()*0.5})
+			ys = append(ys, q.label)
+		}
+	}
+	return xs, ys
+}
+
+func smallCfg() Config {
+	return Config{
+		MinLeaf:      20,
+		StopAccuracy: 0.99,
+		MaxDepth:     6,
+		LogReg:       LogRegConfig{Epochs: 80},
+	}
+}
+
+func TestTrainErrorsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Train(rng, nil, nil, 2, smallCfg()); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Train(rng, []mat.Vec{{1}}, []int{0, 1}, 2, smallCfg()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train(rng, []mat.Vec{{1}}, []int{0}, 1, smallCfg()); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestTreeSolvesCheckerboard(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs, ys := checkerboard(rng, 100)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tree.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("checkerboard accuracy = %v (leaves %d, depth %d)", acc, tree.NumLeaves(), tree.Depth())
+	}
+	if tree.NumLeaves() < 2 {
+		t.Fatalf("tree should have split, leaves = %d", tree.NumLeaves())
+	}
+}
+
+func TestTreePureNodeBecomesLeaf(t *testing.T) {
+	// A single-class... not allowed (classes >= 2), so use a dataset where
+	// one class never appears after the first split is unnecessary: all
+	// instances of both classes are linearly separable, so the root's
+	// classifier exceeds StopAccuracy and the tree is a single leaf.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]mat.Vec, 0, 100)
+	ys := make([]int, 0, 100)
+	for i := 0; i < 50; i++ {
+		xs = append(xs, mat.Vec{3 + rng.NormFloat64()*0.1, 0})
+		ys = append(ys, 0)
+		xs = append(xs, mat.Vec{-3 + rng.NormFloat64()*0.1, 0})
+		ys = append(ys, 1)
+	}
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 1 {
+		t.Fatalf("separable data should give one leaf, got %d", tree.NumLeaves())
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("depth = %d", tree.Depth())
+	}
+}
+
+func TestTreeMinLeafStopsSplitting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs, ys := checkerboard(rng, 5) // 20 points total < MinLeaf 100
+	cfg := smallCfg()
+	cfg.MinLeaf = 100
+	tree, err := Train(rng, xs, ys, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 1 {
+		t.Fatalf("MinLeaf should prevent splits, leaves = %d", tree.NumLeaves())
+	}
+}
+
+func TestTreeMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs, ys := checkerboard(rng, 100)
+	cfg := smallCfg()
+	cfg.MaxDepth = 1
+	tree, err := Train(rng, xs, ys, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 1 {
+		t.Fatalf("depth %d exceeds MaxDepth 1", tree.Depth())
+	}
+}
+
+func TestTreeRegionKeyMatchesLeafRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs, ys := checkerboard(rng, 100)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two instances deep inside the same quadrant share a leaf.
+	a, b := mat.Vec{2, 2}, mat.Vec{2.1, 1.9}
+	if tree.RegionKey(a) != tree.RegionKey(b) {
+		t.Fatal("same-quadrant instances in different regions")
+	}
+	// All keys have the lmt prefix.
+	if !strings.HasPrefix(tree.RegionKey(a), "lmt-leaf-") {
+		t.Fatalf("key = %q", tree.RegionKey(a))
+	}
+}
+
+func TestTreeLocalAtReproducesPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs, ys := checkerboard(rng, 100)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		x := mat.Vec{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		lin, err := tree.LocalAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin.Logits(x).ArgMax() != tree.PredictLabel(x) {
+			t.Fatal("local linear view disagrees with tree prediction")
+		}
+		if lin.Key != tree.RegionKey(x) {
+			t.Fatalf("key mismatch: %q vs %q", lin.Key, tree.RegionKey(x))
+		}
+	}
+}
+
+func TestTreeInputDimPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs, ys := checkerboard(rng, 30)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tree.Predict(mat.Vec{1})
+}
+
+func TestTreeSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := checkerboard(rng, 60)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tree.json")
+	if err := tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim() != tree.Dim() || loaded.Classes() != tree.Classes() || loaded.NumLeaves() != tree.NumLeaves() {
+		t.Fatal("loaded shape mismatch")
+	}
+	for trial := 0; trial < 25; trial++ {
+		x := mat.Vec{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if !tree.Predict(x).EqualApprox(loaded.Predict(x), 0) {
+			t.Fatal("loaded tree predicts differently")
+		}
+		if tree.RegionKey(x) != loaded.RegionKey(x) {
+			t.Fatal("loaded tree routes differently")
+		}
+	}
+}
+
+func TestTreeUnmarshalRejectsGarbage(t *testing.T) {
+	var tree Tree
+	cases := []string{
+		`nope`,
+		`{"format":"wrong","dim":2,"classes":2}`,
+		`{"format":"openapi-lmt-v1","dim":0,"classes":2}`,
+		`{"format":"openapi-lmt-v1","dim":2,"classes":2,"root":null}`,
+		`{"format":"openapi-lmt-v1","dim":2,"classes":2,"root":{"feature":9,"threshold":0,"left":{"w":[[1,2],[3,4]],"b":[0,0]},"right":{"w":[[1,2],[3,4]],"b":[0,0]}}}`,
+		`{"format":"openapi-lmt-v1","dim":2,"classes":2,"root":{"w":[[1,2]],"b":[0]}}`,
+	}
+	for _, c := range cases {
+		if err := tree.UnmarshalJSON([]byte(c)); err == nil {
+			t.Fatalf("accepted garbage: %s", c)
+		}
+	}
+}
+
+func TestCandidateThresholds(t *testing.T) {
+	// Distinct values -> midpoints.
+	got := candidateThresholds([]float64{1, 2, 3}, 10)
+	if len(got) != 2 || got[0] != 1.5 || got[1] != 2.5 {
+		t.Fatalf("thresholds = %v", got)
+	}
+	// Constant column -> no thresholds.
+	if got := candidateThresholds([]float64{5, 5, 5}, 10); len(got) != 0 {
+		t.Fatalf("constant column gave %v", got)
+	}
+	// Thinning respects k.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if got := candidateThresholds(vals, 8); len(got) != 8 {
+		t.Fatalf("thinned to %d, want 8", len(got))
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := entropy([]int{5, 5}, 10); e < 0.999 || e > 1.001 {
+		t.Fatalf("uniform 2-class entropy = %v, want 1", e)
+	}
+	if e := entropy([]int{10, 0}, 10); e != 0 {
+		t.Fatalf("pure entropy = %v", e)
+	}
+	if e := entropy(nil, 0); e != 0 {
+		t.Fatalf("empty entropy = %v", e)
+	}
+}
+
+func TestMaxFeaturesSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs, ys := checkerboard(rng, 100)
+	cfg := smallCfg()
+	cfg.MaxFeatures = 1
+	tree, err := Train(rng, xs, ys, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a feature cap the tree should still train and predict sanely.
+	if acc := tree.Accuracy(xs, ys); acc < 0.5 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+// Property: every instance routes to exactly one leaf and Predict returns a
+// probability vector.
+func TestPropertyTreeRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs, ys := checkerboard(rng, 80)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if a != a || b != b { // NaN guards
+			return true
+		}
+		if a > 1e6 || a < -1e6 || b > 1e6 || b < -1e6 {
+			return true
+		}
+		x := mat.Vec{a, b}
+		p := tree.Predict(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum > 0.999 && sum < 1.001 && strings.HasPrefix(tree.RegionKey(x), "lmt-leaf-")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: instances sharing a region key get identical decision features
+// from LocalAt — the LMT side of the consistency guarantee.
+func TestPropertyTreeRegionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs, ys := checkerboard(rng, 80)
+	tree, err := Train(rng, xs, ys, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := mat.Vec{r.NormFloat64() * 3, r.NormFloat64() * 3}
+		y := mat.Vec{x[0] + r.NormFloat64()*1e-9, x[1] + r.NormFloat64()*1e-9}
+		if tree.RegionKey(x) != tree.RegionKey(y) {
+			return true // vacuous
+		}
+		lx, err := tree.LocalAt(x)
+		if err != nil {
+			return false
+		}
+		ly, err := tree.LocalAt(y)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < 2; c++ {
+			if !lx.DecisionFeatures(c).EqualApprox(ly.DecisionFeatures(c), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the solver kernels OpenAPI leans on; the d=257 and
+// d=785 cases match the paper's image dimensionalities plus the bias column.
+
+func benchSystem(b *testing.B, n int) (*Dense, Vec) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	a := randDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	rhs := make(Vec, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	return a, rhs
+}
+
+func benchLU(b *testing.B, n int) {
+	a, rhs := benchSystem(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Factor(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.SolveVec(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUFactorSolve_n65(b *testing.B)  { benchLU(b, 65) }
+func BenchmarkLUFactorSolve_n257(b *testing.B) { benchLU(b, 257) }
+func BenchmarkLUFactorSolve_n785(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode")
+	}
+	benchLU(b, 785)
+}
+
+// The shared-RHS path: one factorization, many solves — OpenAPI's inner
+// loop across class pairs.
+func BenchmarkLUSolveOnly_n257(b *testing.B) {
+	a, rhs := benchSystem(b, 257)
+	f, err := Factor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.SolveVec(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQR(b *testing.B, rows, cols int) {
+	rng := rand.New(rand.NewSource(int64(rows)))
+	a := randDense(rng, rows, cols)
+	rhs := make(Vec, rows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := FactorQR(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.SolveVec(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRLeastSquares_130x65(b *testing.B)  { benchQR(b, 130, 65) }
+func BenchmarkQRLeastSquares_514x257(b *testing.B) { benchQR(b, 514, 257) }
+
+func BenchmarkMulVec_257(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := randDense(rng, 257, 257)
+	x := make(Vec, 257)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}

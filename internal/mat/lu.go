@@ -1,0 +1,190 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting of a square matrix A,
+// PA = LU. Factor once, then solve against many right-hand sides — this is
+// the hot path of the OpenAPI interpreter, where the same coefficient matrix
+// serves every class pair.
+type LU struct {
+	lu    *Dense // packed L (unit lower, below diagonal) and U (upper)
+	pivot []int  // row i of the factorization came from row pivot[i] of A
+	sign  int    // parity of the permutation, for Det
+	n     int
+}
+
+// Factor computes the LU factorization of the square matrix a with partial
+// pivoting. It returns ErrSingular when a pivot underflows to zero; callers
+// that can resample (as OpenAPI does) should treat that as "try new points".
+func Factor(a *Dense) (*LU, error) {
+	r, c := a.Dims()
+	if r != c {
+		return nil, fmt.Errorf("mat: Factor needs square matrix, got %dx%d: %w", r, c, ErrShape)
+	}
+	n := r
+	f := &LU{lu: a.Clone(), pivot: make([]int, n), sign: 1, n: n}
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	lu := f.lu.data
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		maxAbs := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > maxAbs {
+				maxAbs = a
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("mat: zero pivot at column %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			rowP := lu[p*n : (p+1)*n]
+			rowK := lu[k*n : (k+1)*n]
+			for j := range rowK {
+				rowP[j], rowK[j] = rowK[j], rowP[j]
+			}
+			f.pivot[p], f.pivot[k] = f.pivot[k], f.pivot[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] * inv
+			lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			rowI := lu[i*n : (i+1)*n]
+			rowK := lu[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// N returns the order of the factored matrix.
+func (f *LU) N() int { return f.n }
+
+// SolveVec solves A x = b for a single right-hand side.
+func (f *LU) SolveVec(b Vec) (Vec, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("mat: SolveVec rhs length %d != %d: %w", len(b), f.n, ErrShape)
+	}
+	n := f.n
+	lu := f.lu.data
+	x := make(Vec, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := lu[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		row := lu[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, fmt.Errorf("mat: zero diagonal at %d: %w", i, ErrSingular)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Solve solves A X = B column by column.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	if b.Rows() != f.n {
+		return nil, fmt.Errorf("mat: Solve rhs rows %d != %d: %w", b.Rows(), f.n, ErrShape)
+	}
+	out := NewDense(f.n, b.Cols())
+	for j := 0; j < b.Cols(); j++ {
+		x, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, x)
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		det *= f.lu.data[i*f.n+i]
+	}
+	return det
+}
+
+// MinPivot returns the smallest absolute diagonal entry of U — a cheap
+// proxy for how close to singular the matrix is.
+func (f *LU) MinPivot() float64 {
+	m := math.Inf(1)
+	for i := 0; i < f.n; i++ {
+		if a := math.Abs(f.lu.data[i*f.n+i]); a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+// CondEst returns a crude lower-bound estimate of the infinity-norm condition
+// number: ||A||_inf * max|1/u_ii|. Good enough to flag the near-singular
+// systems OpenAPI must resample.
+func (f *LU) CondEst(a *Dense) float64 {
+	var normA float64
+	for i := 0; i < a.Rows(); i++ {
+		s := a.RawRow(i).Norm1()
+		if s > normA {
+			normA = s
+		}
+	}
+	mp := f.MinPivot()
+	if mp == 0 {
+		return math.Inf(1)
+	}
+	return normA / mp
+}
+
+// SolveSquare is a convenience wrapper: factor a and solve a x = b.
+func SolveSquare(a *Dense, b Vec) (Vec, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// Inverse returns the inverse of a, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(f.n))
+}
+
+// Residual returns b - A*x, the defect of a candidate solution. The OpenAPI
+// consistency test is "does the (d+2)-th equation have a small defect?".
+func Residual(a *Dense, x, b Vec) Vec {
+	ax := a.MulVec(x)
+	return b.Sub(ax)
+}

@@ -1,0 +1,210 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorRejectsNonSquare(t *testing.T) {
+	_, err := Factor(NewDense(2, 3))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := FromRows(Vec{1, 2}, Vec{2, 4}) // rank 1
+	_, err := Factor(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows(Vec{2, 1}, Vec{1, 3})
+	x, err := SolveSquare(a, Vec{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 -> x=1, y=3
+	if !x.EqualApprox(Vec{1, 3}, 1e-12) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a := FromRows(Vec{0, 1}, Vec{1, 0})
+	x, err := SolveSquare(a, Vec{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.EqualApprox(Vec{7, 3}, 1e-14) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveVecRhsLengthMismatch(t *testing.T) {
+	f, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SolveVec(Vec{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows(Vec{1, 2}, Vec{3, 4})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); !almostEqual(got, -2, 1e-12) {
+		t.Fatalf("Det = %v, want -2", got)
+	}
+	fi, err := Factor(Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Det(); got != 1 {
+		t.Fatalf("Det(I) = %v", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randDense(rng, 6, 6)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).EqualApprox(Identity(6), 1e-9) {
+		t.Fatal("A * A^{-1} != I")
+	}
+}
+
+func TestSolveMultiRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randDense(rng, 5, 5)
+	b := randDense(rng, 5, 3)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(x).EqualApprox(b, 1e-9) {
+		t.Fatal("A X != B")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a := FromRows(Vec{1, 0}, Vec{0, 1})
+	r := Residual(a, Vec{1, 1}, Vec{3, 1})
+	if !r.EqualApprox(Vec{2, 0}, 0) {
+		t.Fatalf("Residual = %v", r)
+	}
+}
+
+func TestMinPivotAndCondEst(t *testing.T) {
+	// Well conditioned.
+	f, err := Factor(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MinPivot() != 1 {
+		t.Fatalf("MinPivot(I) = %v", f.MinPivot())
+	}
+	if c := f.CondEst(Identity(4)); !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("CondEst(I) = %v", c)
+	}
+	// Badly conditioned.
+	a := FromRows(Vec{1, 1}, Vec{1, 1 + 1e-12})
+	fb, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fb.CondEst(a); c < 1e10 {
+		t.Fatalf("CondEst of near-singular = %v, want large", c)
+	}
+}
+
+// Property: for random well-conditioned systems, solve then multiply
+// recovers the right-hand side.
+func TestPropertyLUSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(n8 uint8) bool {
+		n := int(n8%12) + 2
+		a := randDense(rng, n, n)
+		// Diagonal boost keeps the sample well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := make(Vec, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		return got.EqualApprox(want, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: det(A) = 0 detection — scaling a row by 0 always errors.
+func TestPropertyZeroRowSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(n8, r8 uint8) bool {
+		n := int(n8%8) + 2
+		a := randDense(rng, n, n)
+		row := int(r8) % n
+		for j := 0; j < n; j++ {
+			a.Set(row, j, 0)
+		}
+		_, err := Factor(a)
+		return errors.Is(err, ErrSingular)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the determinant changes sign under a row swap.
+func TestPropertyDetRowSwapSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := func(n8 uint8) bool {
+		n := int(n8%6) + 2
+		a := randDense(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		fa, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		b := a.Clone()
+		r0, r1 := b.Row(0), b.Row(1)
+		b.SetRow(0, r1)
+		b.SetRow(1, r0)
+		fb, err := Factor(b)
+		if err != nil {
+			return false
+		}
+		da, db := fa.Det(), fb.Det()
+		return almostEqual(da, -db, 1e-8) || (math.Abs(da) < 1e-12 && math.Abs(db) < 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

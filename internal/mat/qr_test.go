@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRRejectsWideMatrix(t *testing.T) {
+	_, err := FactorQR(NewDense(2, 3))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestQRSquareSolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randDense(rng, 6, 6)
+	for i := 0; i < 6; i++ {
+		a.Set(i, i, a.At(i, i)+6)
+	}
+	b := make(Vec, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xlu, err := SolveSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xqr, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xlu.EqualApprox(xqr, 1e-8) {
+		t.Fatalf("LU %v vs QR %v", xlu, xqr)
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 through noisy-free points: exact recovery expected.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewDense(len(xs), 2)
+	b := make(Vec, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coef.EqualApprox(Vec{2, 1}, 1e-10) {
+		t.Fatalf("coef = %v, want [2 1]", coef)
+	}
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ResidualNorm(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-10 {
+		t.Fatalf("residual of consistent system = %v", res)
+	}
+}
+
+func TestQRResidualOfInconsistentSystem(t *testing.T) {
+	// x must satisfy x=0 and x=1 simultaneously: residual is sqrt(1/2).
+	a := FromRows(Vec{1}, Vec{1})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ResidualNorm(Vec{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res, math.Sqrt(0.5), 1e-12) {
+		t.Fatalf("residual = %v, want %v", res, math.Sqrt(0.5))
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := FromRows(Vec{1, 2}, Vec{2, 4}, Vec{3, 6})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IsFullRank(1e-12) {
+		t.Fatal("rank-1 matrix reported full rank")
+	}
+	if r := f.Rank(1e-12); r != 1 {
+		t.Fatalf("Rank = %d, want 1", r)
+	}
+	if _, err := f.SolveVec(Vec{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRZeroMatrixRank(t *testing.T) {
+	f, err := FactorQR(NewDense(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Rank(1e-12); r != 0 {
+		t.Fatalf("Rank of zero matrix = %d", r)
+	}
+}
+
+func TestRidgeSolveShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randDense(rng, 20, 3)
+	b := make(Vec, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x0, err := RidgeSolve(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := RidgeSolve(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := RidgeSolve(a, b, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(x2.Norm2() < x1.Norm2() && x1.Norm2() < x0.Norm2()) {
+		t.Fatalf("ridge norms not monotone: %v %v %v", x0.Norm2(), x1.Norm2(), x2.Norm2())
+	}
+	if x2.Norm2() > 1e-3 {
+		t.Fatalf("huge lambda should crush coefficients, got %v", x2.Norm2())
+	}
+}
+
+func TestRidgeSolveSkipCols(t *testing.T) {
+	// Column 1 is an intercept; exempting it from the penalty must keep the
+	// fit of a constant function exact even under heavy regularization.
+	n := 10
+	a := NewDense(n, 2)
+	b := make(Vec, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, 0, float64(i))
+		a.Set(i, 1, 1)
+		b[i] = 5 // constant target
+	}
+	x, err := RidgeSolve(a, b, 1e8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]) > 1e-3 {
+		t.Fatalf("slope should be crushed, got %v", x[0])
+	}
+	if math.Abs(x[1]-5) > 1e-3 {
+		t.Fatalf("intercept should stay near 5, got %v", x[1])
+	}
+}
+
+func TestRidgeSolveNegativeLambda(t *testing.T) {
+	if _, err := RidgeSolve(NewDense(2, 1), Vec{1, 2}, -1); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+}
+
+// Property: the QR least-squares solution of a consistent square system
+// reproduces the constructed solution.
+func TestPropertyQRSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(n8, extra8 uint8) bool {
+		n := int(n8%8) + 1
+		extra := int(extra8 % 8)
+		m := n + extra
+		a := randDense(rng, m, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := make(Vec, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		return got.EqualApprox(want, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: residual of the consistent augmented system is ~0, and the
+// least-squares residual never exceeds ||b||.
+func TestPropertyResidualBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	f := func(n8, extra8 uint8) bool {
+		n := int(n8%6) + 1
+		m := n + int(extra8%6) + 1
+		a := randDense(rng, m, n)
+		b := make(Vec, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		qr, err := FactorQR(a)
+		if err != nil {
+			return false
+		}
+		res, err := qr.ResidualNorm(b)
+		if err != nil {
+			return false
+		}
+		return res <= b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

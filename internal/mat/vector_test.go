@@ -1,0 +1,219 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, -5, 6}
+	if got := v.Dot(w); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestVecDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecAddSub(t *testing.T) {
+	v := Vec{1, 2}
+	w := Vec{3, 5}
+	if got := v.Add(w); got[0] != 4 || got[1] != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := w.Sub(v); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	// originals untouched
+	if v[0] != 1 || w[0] != 3 {
+		t.Fatal("Add/Sub mutated operands")
+	}
+}
+
+func TestVecInPlaceOps(t *testing.T) {
+	v := Vec{1, 2}
+	v.AddInPlace(Vec{1, 1}).SubInPlace(Vec{0, 1}).ScaleInPlace(2).Axpy(3, Vec{1, 0})
+	want := Vec{7, 4} // ((1+1-0)*2+3, (2+1-1)*2+0)
+	if v[0] != want[0] || v[1] != want[1] {
+		t.Fatalf("chained in-place = %v, want %v", v, want)
+	}
+}
+
+func TestVecNorms(t *testing.T) {
+	v := Vec{3, -4}
+	if got := v.Norm2(); !almostEqual(got, 5, 1e-15) {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Fatalf("Norm1 = %v", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Fatalf("NormInf = %v", got)
+	}
+	if got := (Vec{}).Norm2(); got != 0 {
+		t.Fatalf("empty Norm2 = %v", got)
+	}
+}
+
+func TestVecNorm2Overflow(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	v := Vec{big, big}
+	got := v.Norm2()
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+	want := big * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestVecDistances(t *testing.T) {
+	v := Vec{0, 0, 0}
+	w := Vec{1, -2, 2}
+	if got := v.L1Dist(w); got != 5 {
+		t.Fatalf("L1Dist = %v", got)
+	}
+	if got := v.L2Dist(w); !almostEqual(got, 3, 1e-15) {
+		t.Fatalf("L2Dist = %v", got)
+	}
+	if got := v.LInfDist(w); got != 2 {
+		t.Fatalf("LInfDist = %v", got)
+	}
+}
+
+func TestVecCosine(t *testing.T) {
+	v := Vec{1, 0}
+	w := Vec{0, 1}
+	if got := v.Cosine(w); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := v.Cosine(v.Scale(3)); !almostEqual(got, 1, 1e-15) {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := v.Cosine(v.Scale(-2)); !almostEqual(got, -1, 1e-15) {
+		t.Fatalf("antiparallel cosine = %v", got)
+	}
+	zero := Vec{0, 0}
+	if got := zero.Cosine(zero); got != 1 {
+		t.Fatalf("zero-zero cosine = %v, want 1", got)
+	}
+	if got := zero.Cosine(v); got != 0 {
+		t.Fatalf("zero-nonzero cosine = %v, want 0", got)
+	}
+}
+
+func TestVecArgMaxMin(t *testing.T) {
+	v := Vec{3, 9, -2, 9}
+	if got := v.ArgMax(); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := v.ArgMin(); got != 2 {
+		t.Fatalf("ArgMin = %d", got)
+	}
+	if got := (Vec{}).ArgMax(); got != -1 {
+		t.Fatalf("empty ArgMax = %d", got)
+	}
+	if v.Max() != 9 || v.Min() != -2 {
+		t.Fatalf("Max/Min = %v/%v", v.Max(), v.Min())
+	}
+}
+
+func TestVecCloneIndependence(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestVecFillSumMean(t *testing.T) {
+	v := NewVec(4).Fill(2.5)
+	if v.Sum() != 10 || v.Mean() != 2.5 {
+		t.Fatalf("Sum/Mean = %v/%v", v.Sum(), v.Mean())
+	}
+	if (Vec{}).Mean() != 0 {
+		t.Fatal("empty Mean should be 0")
+	}
+}
+
+func TestVecHasNaN(t *testing.T) {
+	if (Vec{1, 2}).HasNaN() {
+		t.Fatal("clean vector flagged")
+	}
+	if !(Vec{1, math.NaN()}).HasNaN() {
+		t.Fatal("NaN not flagged")
+	}
+	if !(Vec{math.Inf(1)}).HasNaN() {
+		t.Fatal("Inf not flagged")
+	}
+}
+
+func TestVecEqualApprox(t *testing.T) {
+	v := Vec{1, 2}
+	if !v.EqualApprox(Vec{1 + 1e-12, 2}, 1e-9) {
+		t.Fatal("near-equal vectors rejected")
+	}
+	if v.EqualApprox(Vec{1.1, 2}, 1e-9) {
+		t.Fatal("different vectors accepted")
+	}
+	if v.EqualApprox(Vec{1}, 1e-9) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Property: cosine similarity is scale invariant and bounded in [-1, 1].
+func TestPropertyCosineScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8, scale float64) bool {
+		d := int(n%16) + 2
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) < 1e-6 || math.Abs(scale) > 1e6 {
+			scale = 2.5
+		}
+		v := make(Vec, d)
+		w := make(Vec, d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		c1 := v.Cosine(w)
+		c2 := v.Scale(scale).Cosine(w)
+		if math.Abs(scale) > 0 && scale < 0 {
+			c2 = -c2
+		}
+		return almostEqual(c1, c2, 1e-9) && c1 <= 1+1e-12 && c1 >= -1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for the L1 distance.
+func TestPropertyL1TriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(n uint8) bool {
+		d := int(n%16) + 1
+		a, b, c := make(Vec, d), make(Vec, d), make(Vec, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i], c[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		return a.L1Dist(c) <= a.L1Dist(b)+b.L1Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSetLeakClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	n := New(rng, 2, 4, 2)
+	if n.SetLeak(0.1).Leak() != 0.1 {
+		t.Fatal("leak not set")
+	}
+	if n.SetLeak(-1).Leak() != 0 {
+		t.Fatal("negative leak not clamped")
+	}
+	if n.SetLeak(2).Leak() != 0 {
+		t.Fatal("leak >= 1 not clamped")
+	}
+}
+
+func TestLeakyChangesNegativeSide(t *testing.T) {
+	// A hand-built single-unit network: z1 = x, logits = (h, -h).
+	w1 := mat.FromRows(mat.Vec{1})
+	w2 := mat.FromRows(mat.Vec{1}, mat.Vec{-1})
+	n := FromLayers(
+		Layer{W: w1, B: mat.Vec{0}},
+		Layer{W: w2, B: mat.Vec{0, 0}},
+	).SetLeak(0.25)
+	// Positive side: unchanged.
+	if got := n.Logits(mat.Vec{2})[0]; got != 2 {
+		t.Fatalf("positive side = %v", got)
+	}
+	// Negative side: scaled by 0.25 instead of clipped to 0.
+	if got := n.Logits(mat.Vec{-2})[0]; got != -0.5 {
+		t.Fatalf("negative side = %v, want -0.5", got)
+	}
+}
+
+func TestLeakyInputGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := New(rng, 4, 6, 3).SetLeak(0.1)
+	x := mat.Vec{0.3, -0.1, 0.7, 0.2}
+	const h = 1e-6
+	for c := 0; c < 3; c++ {
+		g := n.InputGradient(x, c)
+		for i := range x {
+			xp, xm := x.Clone(), x.Clone()
+			xp[i] += h
+			xm[i] -= h
+			fd := (n.Logits(xp)[c] - n.Logits(xm)[c]) / (2 * h)
+			if math.Abs(fd-g[i]) > 1e-5*(1+math.Abs(fd)) {
+				t.Fatalf("class %d dim %d: grad %v vs fd %v", c, i, g[i], fd)
+			}
+		}
+	}
+}
+
+func TestLeakyTrainsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	xs, ys := xorData(rng, 60)
+	n := New(rng, 2, 16, 2).SetLeak(0.05)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 120, LearningRate: 0.05, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("leaky XOR accuracy = %v", acc)
+	}
+}
+
+func TestLeakySerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	n := New(rng, 3, 5, 2).SetLeak(0.2)
+	path := filepath.Join(t.TempDir(), "leaky.json")
+	if err := n.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Leak() != 0.2 {
+		t.Fatalf("leak lost: %v", loaded.Leak())
+	}
+	x := mat.Vec{-1, 0.5, -0.3} // exercises the negative side
+	if !n.Logits(x).EqualApprox(loaded.Logits(x), 0) {
+		t.Fatal("leaky network round trip changed outputs")
+	}
+}
+
+func TestLeakyCloneKeepsSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	n := New(rng, 2, 3, 2).SetLeak(0.3)
+	if n.Clone().Leak() != 0.3 {
+		t.Fatal("clone lost leak")
+	}
+}

@@ -1,0 +1,286 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// MaxoutLayer computes h_j = max_p (W_p x + b_p)_j over k affine pieces
+// (Goodfellow et al., ICML 2013). Like ReLU, the max of affine pieces is
+// piecewise linear, so MaxOut networks are PLMs — the other family member
+// the paper names explicitly.
+type MaxoutLayer struct {
+	Pieces []Layer // k affine maps with identical shapes
+}
+
+// In returns the layer's input width.
+func (l *MaxoutLayer) In() int { return l.Pieces[0].W.Cols() }
+
+// Out returns the layer's output width.
+func (l *MaxoutLayer) Out() int { return l.Pieces[0].W.Rows() }
+
+// K returns the number of affine pieces.
+func (l *MaxoutLayer) K() int { return len(l.Pieces) }
+
+// MaxoutNetwork is a stack of MaxOut hidden layers with a linear read-out
+// into softmax. Its locally linear regions are indexed by which piece wins
+// at every hidden unit.
+type MaxoutNetwork struct {
+	hidden []MaxoutLayer
+	out    Layer
+}
+
+// NewMaxout builds a MaxOut network with k pieces per hidden unit and the
+// given layer widths (input first, classes last).
+func NewMaxout(rng *rand.Rand, k int, sizes ...int) *MaxoutNetwork {
+	if len(sizes) < 2 {
+		panic("nn: NewMaxout needs at least input and output sizes")
+	}
+	if k < 2 {
+		panic(fmt.Sprintf("nn: maxout needs k >= 2 pieces, got %d", k))
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: non-positive layer size %d", s))
+		}
+	}
+	n := &MaxoutNetwork{hidden: make([]MaxoutLayer, len(sizes)-2)}
+	newAffine := func(in, out int) Layer {
+		w := mat.NewDense(out, in)
+		sd := math.Sqrt(2 / float64(in))
+		for r := 0; r < out; r++ {
+			row := w.RawRow(r)
+			for c := range row {
+				row[c] = sd * rng.NormFloat64()
+			}
+		}
+		return Layer{W: w, B: mat.NewVec(out)}
+	}
+	for i := 0; i < len(sizes)-2; i++ {
+		pieces := make([]Layer, k)
+		for p := range pieces {
+			pieces[p] = newAffine(sizes[i], sizes[i+1])
+		}
+		n.hidden[i] = MaxoutLayer{Pieces: pieces}
+	}
+	n.out = newAffine(sizes[len(sizes)-2], sizes[len(sizes)-1])
+	return n
+}
+
+// InputDim returns the expected input dimensionality.
+func (n *MaxoutNetwork) InputDim() int {
+	if len(n.hidden) > 0 {
+		return n.hidden[0].In()
+	}
+	return n.out.In()
+}
+
+// Classes returns the number of output classes.
+func (n *MaxoutNetwork) Classes() int { return n.out.Out() }
+
+// NumHidden returns the number of MaxOut hidden layers.
+func (n *MaxoutNetwork) NumHidden() int { return len(n.hidden) }
+
+// maxoutState caches per-layer winner indices and activations.
+type maxoutState struct {
+	winners [][]int   // winners[l][j] = argmax piece of unit j in layer l
+	acts    []mat.Vec // acts[0] = input; acts[l+1] = hidden layer l output
+	logits  mat.Vec
+}
+
+func (n *MaxoutNetwork) forward(x mat.Vec) maxoutState {
+	if len(x) != n.InputDim() {
+		panic(fmt.Sprintf("nn: maxout input length %d != %d", len(x), n.InputDim()))
+	}
+	st := maxoutState{
+		winners: make([][]int, len(n.hidden)),
+		acts:    make([]mat.Vec, len(n.hidden)+1),
+	}
+	st.acts[0] = x
+	cur := x
+	for li, l := range n.hidden {
+		outs := make([]mat.Vec, l.K())
+		for p, piece := range l.Pieces {
+			outs[p] = piece.W.MulVec(cur).AddInPlace(piece.B)
+		}
+		h := make(mat.Vec, l.Out())
+		win := make([]int, l.Out())
+		for j := 0; j < l.Out(); j++ {
+			best := 0
+			for p := 1; p < l.K(); p++ {
+				if outs[p][j] > outs[best][j] {
+					best = p
+				}
+			}
+			win[j] = best
+			h[j] = outs[best][j]
+		}
+		st.winners[li] = win
+		st.acts[li+1] = h
+		cur = h
+	}
+	st.logits = n.out.W.MulVec(cur).AddInPlace(n.out.B)
+	return st
+}
+
+// Logits returns the raw pre-softmax scores for x.
+func (n *MaxoutNetwork) Logits(x mat.Vec) mat.Vec { return n.forward(x).logits }
+
+// Predict returns softmax class probabilities.
+func (n *MaxoutNetwork) Predict(x mat.Vec) mat.Vec { return Softmax(n.Logits(x)) }
+
+// PredictLabel returns the argmax class.
+func (n *MaxoutNetwork) PredictLabel(x mat.Vec) int { return n.Logits(x).ArgMax() }
+
+// WinnerPattern returns the per-unit winning piece indices of every hidden
+// layer — the MaxOut analogue of a ReLU activation pattern. Two inputs with
+// the same pattern share a locally linear region.
+func (n *MaxoutNetwork) WinnerPattern(x mat.Vec) []int {
+	st := n.forward(x)
+	var pat []int
+	for _, w := range st.winners {
+		pat = append(pat, w...)
+	}
+	return pat
+}
+
+// LocalAffine folds the network at x into the exact affine map (W, b) of
+// x's locally linear region: within the region, logits = W·x + b.
+func (n *MaxoutNetwork) LocalAffine(x mat.Vec) (*mat.Dense, mat.Vec) {
+	st := n.forward(x)
+	d := n.InputDim()
+	curW := mat.Identity(d)
+	curB := mat.NewVec(d)
+	for li, l := range n.hidden {
+		nextW := mat.NewDense(l.Out(), curW.Cols())
+		nextB := mat.NewVec(l.Out())
+		for j := 0; j < l.Out(); j++ {
+			piece := l.Pieces[st.winners[li][j]]
+			// Row j of the effective map: piece.W[j] composed with cur.
+			wj := piece.W.RawRow(j)
+			outRow := nextW.RawRow(j)
+			for c := 0; c < curW.Cols(); c++ {
+				var s float64
+				for t := 0; t < curW.Rows(); t++ {
+					s += wj[t] * curW.At(t, c)
+				}
+				outRow[c] = s
+			}
+			nextB[j] = wj.Dot(curB) + piece.B[j]
+		}
+		curW, curB = nextW, nextB
+	}
+	finalW := n.out.W.Mul(curW)
+	finalB := n.out.W.MulVec(curB).AddInPlace(n.out.B)
+	return finalW, finalB
+}
+
+// InputGradient returns the gradient of logit c with respect to the input,
+// backpropagated through the winning pieces.
+func (n *MaxoutNetwork) InputGradient(x mat.Vec, c int) mat.Vec {
+	if c < 0 || c >= n.Classes() {
+		panic(fmt.Sprintf("nn: class %d out of range %d", c, n.Classes()))
+	}
+	w, _ := n.LocalAffine(x)
+	return w.Row(c)
+}
+
+// TrainMaxout runs mini-batch SGD on the MaxOut network. Gradients flow
+// through the winning piece of each unit only (the max is locally that
+// piece). Returns the mean loss of the final epoch.
+func (n *MaxoutNetwork) Train(rng *rand.Rand, xs []mat.Vec, labels []int, cfg TrainConfig) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	if len(xs) != len(labels) {
+		return 0, fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(labels))
+	}
+	for i, y := range labels {
+		if y < 0 || y >= n.Classes() {
+			return 0, fmt.Errorf("nn: label %d of sample %d out of range", y, i)
+		}
+	}
+	cfg.setDefaults()
+	var lastLoss float64
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		order := rng.Perm(len(xs))
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			lr := cfg.LearningRate / float64(end-start)
+			for _, idx := range order[start:end] {
+				epochLoss += n.sgdStep(xs[idx], labels[idx], lr)
+			}
+		}
+		lastLoss = epochLoss / float64(len(xs))
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// sgdStep applies one per-sample SGD update and returns the sample loss.
+func (n *MaxoutNetwork) sgdStep(x mat.Vec, label int, lr float64) float64 {
+	st := n.forward(x)
+	probs := Softmax(st.logits)
+	loss := CrossEntropy(probs, label)
+	delta := probs.Clone()
+	delta[label] -= 1
+
+	// Output layer.
+	last := st.acts[len(st.acts)-1]
+	for r, dr := range delta {
+		if dr == 0 {
+			continue
+		}
+		row := n.out.W.RawRow(r)
+		for c, av := range last {
+			row[c] -= lr * dr * av
+		}
+		n.out.B[r] -= lr * dr
+	}
+	// Backprop into the last hidden activation.
+	g := n.out.W.MulVecT(delta)
+	// Hidden layers, last to first; gradient reaches only winning pieces.
+	for li := len(n.hidden) - 1; li >= 0; li-- {
+		l := n.hidden[li]
+		in := st.acts[li]
+		nextG := mat.NewVec(len(in))
+		for j := 0; j < l.Out(); j++ {
+			gj := g[j]
+			if gj == 0 {
+				continue
+			}
+			piece := l.Pieces[st.winners[li][j]]
+			row := piece.W.RawRow(j)
+			for c, iv := range in {
+				nextG[c] += row[c] * gj
+				row[c] -= lr * gj * iv
+			}
+			piece.B[j] -= lr * gj
+		}
+		g = nextG
+	}
+	return loss
+}
+
+// Accuracy returns the fraction of xs classified as labels.
+func (n *MaxoutNetwork) Accuracy(xs []mat.Vec, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if n.PredictLabel(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

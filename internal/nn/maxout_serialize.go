@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/mat"
+)
+
+const maxoutFormatTag = "openapi-maxout-v1"
+
+type maxoutJSON struct {
+	Format string        `json:"format"`
+	Hidden [][]layerJSON `json:"hidden"` // hidden[l][p] = piece p of layer l
+	Out    layerJSON     `json:"out"`
+}
+
+func encodeAffine(l Layer) layerJSON {
+	lj := layerJSON{Rows: l.W.Rows(), Cols: l.W.Cols(), B: l.B.Clone()}
+	lj.W = make([][]float64, lj.Rows)
+	for r := 0; r < lj.Rows; r++ {
+		lj.W[r] = l.W.Row(r)
+	}
+	return lj
+}
+
+func decodeAffine(lj layerJSON) (Layer, error) {
+	if lj.Rows <= 0 || lj.Cols <= 0 {
+		return Layer{}, fmt.Errorf("nn: invalid affine shape %dx%d", lj.Rows, lj.Cols)
+	}
+	if len(lj.W) != lj.Rows || len(lj.B) != lj.Rows {
+		return Layer{}, fmt.Errorf("nn: affine row/bias count mismatch")
+	}
+	flat := make([]float64, 0, lj.Rows*lj.Cols)
+	for r, row := range lj.W {
+		if len(row) != lj.Cols {
+			return Layer{}, fmt.Errorf("nn: affine row %d has %d cols, want %d", r, len(row), lj.Cols)
+		}
+		flat = append(flat, row...)
+	}
+	return Layer{W: mat.NewDenseFrom(lj.Rows, lj.Cols, flat), B: append(mat.Vec(nil), lj.B...)}, nil
+}
+
+// MarshalJSON encodes the MaxOut network's architecture and parameters.
+func (n *MaxoutNetwork) MarshalJSON() ([]byte, error) {
+	out := maxoutJSON{Format: maxoutFormatTag, Out: encodeAffine(n.out)}
+	out.Hidden = make([][]layerJSON, len(n.hidden))
+	for li, l := range n.hidden {
+		pieces := make([]layerJSON, len(l.Pieces))
+		for p, piece := range l.Pieces {
+			pieces[p] = encodeAffine(piece)
+		}
+		out.Hidden[li] = pieces
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a MaxOut network written by MarshalJSON,
+// validating shapes and chain consistency.
+func (n *MaxoutNetwork) UnmarshalJSON(data []byte) error {
+	var in maxoutJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nn: decode maxout: %w", err)
+	}
+	if in.Format != maxoutFormatTag {
+		return fmt.Errorf("nn: unknown maxout format %q (want %q)", in.Format, maxoutFormatTag)
+	}
+	hidden := make([]MaxoutLayer, len(in.Hidden))
+	prevOut := -1
+	for li, piecesJSON := range in.Hidden {
+		if len(piecesJSON) < 2 {
+			return fmt.Errorf("nn: maxout layer %d has %d pieces, need >= 2", li, len(piecesJSON))
+		}
+		pieces := make([]Layer, len(piecesJSON))
+		for p, pj := range piecesJSON {
+			piece, err := decodeAffine(pj)
+			if err != nil {
+				return fmt.Errorf("nn: maxout layer %d piece %d: %w", li, p, err)
+			}
+			if p > 0 && (piece.W.Rows() != pieces[0].W.Rows() || piece.W.Cols() != pieces[0].W.Cols()) {
+				return fmt.Errorf("nn: maxout layer %d piece %d shape mismatch", li, p)
+			}
+			pieces[p] = piece
+		}
+		if prevOut >= 0 && pieces[0].W.Cols() != prevOut {
+			return fmt.Errorf("nn: maxout layer %d input %d != previous output %d", li, pieces[0].W.Cols(), prevOut)
+		}
+		prevOut = pieces[0].W.Rows()
+		hidden[li] = MaxoutLayer{Pieces: pieces}
+	}
+	out, err := decodeAffine(in.Out)
+	if err != nil {
+		return fmt.Errorf("nn: maxout output layer: %w", err)
+	}
+	if prevOut >= 0 && out.W.Cols() != prevOut {
+		return fmt.Errorf("nn: maxout output input %d != previous output %d", out.W.Cols(), prevOut)
+	}
+	n.hidden = hidden
+	n.out = out
+	return nil
+}
+
+// SaveMaxout writes the network to path as JSON.
+func (n *MaxoutNetwork) Save(path string) error {
+	data, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("nn: marshal maxout: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("nn: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadMaxout reads a MaxOut network saved by Save.
+func LoadMaxout(path string) (*MaxoutNetwork, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load %s: %w", path, err)
+	}
+	var n MaxoutNetwork
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestMaxoutSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	n := NewMaxout(rng, 3, 4, 6, 5, 3)
+	path := filepath.Join(t.TempDir(), "maxout.json")
+	if err := n.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMaxout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InputDim() != 4 || loaded.Classes() != 3 || loaded.NumHidden() != 2 {
+		t.Fatal("loaded shapes wrong")
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := randInput(rng, 4)
+		if !n.Logits(x).EqualApprox(loaded.Logits(x), 0) {
+			t.Fatal("loaded network differs")
+		}
+		pa, pb := n.WinnerPattern(x), loaded.WinnerPattern(x)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("winner patterns differ")
+			}
+		}
+	}
+}
+
+func TestMaxoutLoadMissing(t *testing.T) {
+	if _, err := LoadMaxout(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMaxoutUnmarshalRejectsGarbage(t *testing.T) {
+	var n MaxoutNetwork
+	cases := []string{
+		`junk`,
+		`{"format":"wrong","hidden":[],"out":{"rows":1,"cols":1,"w":[[1]],"b":[0]}}`,
+		// one piece only
+		`{"format":"openapi-maxout-v1","hidden":[[{"rows":2,"cols":2,"w":[[1,0],[0,1]],"b":[0,0]}]],"out":{"rows":2,"cols":2,"w":[[1,0],[0,1]],"b":[0,0]}}`,
+		// piece shape mismatch
+		`{"format":"openapi-maxout-v1","hidden":[[{"rows":2,"cols":2,"w":[[1,0],[0,1]],"b":[0,0]},{"rows":1,"cols":2,"w":[[1,0]],"b":[0]}]],"out":{"rows":2,"cols":2,"w":[[1,0],[0,1]],"b":[0,0]}}`,
+		// output chain mismatch
+		`{"format":"openapi-maxout-v1","hidden":[[{"rows":2,"cols":2,"w":[[1,0],[0,1]],"b":[0,0]},{"rows":2,"cols":2,"w":[[1,0],[0,1]],"b":[0,0]}]],"out":{"rows":2,"cols":3,"w":[[1,0,0],[0,1,0]],"b":[0,0]}}`,
+	}
+	for i, c := range cases {
+		if err := n.UnmarshalJSON([]byte(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestMaxoutNoHiddenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := NewMaxout(rng, 2, 3, 2) // pure linear model
+	path := filepath.Join(t.TempDir(), "linear.json")
+	if err := n.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMaxout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{0.5, -0.5, 1}
+	if !n.Logits(x).EqualApprox(loaded.Logits(x), 0) {
+		t.Fatal("linear maxout round trip failed")
+	}
+}

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func randInput(rng *rand.Rand, d int) mat.Vec {
+	v := make(mat.Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestNewMaxoutShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewMaxout(rng, 3, 4, 8, 5, 2)
+	if n.InputDim() != 4 || n.Classes() != 2 || n.NumHidden() != 2 {
+		t.Fatalf("shapes: in=%d classes=%d hidden=%d", n.InputDim(), n.Classes(), n.NumHidden())
+	}
+}
+
+func TestNewMaxoutPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, fn := range []func(){
+		func() { NewMaxout(rng, 3, 4) },
+		func() { NewMaxout(rng, 1, 4, 2) },
+		func() { NewMaxout(rng, 2, 4, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxoutPredictIsProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewMaxout(rng, 2, 5, 6, 3)
+	p := n.Predict(randInput(rng, 5))
+	if math.Abs(p.Sum()-1) > 1e-12 {
+		t.Fatalf("sum = %v", p.Sum())
+	}
+}
+
+func TestMaxoutNoHiddenLayers(t *testing.T) {
+	// sizes = {in, out}: a pure linear softmax model is a valid (single
+	// region) PLM.
+	rng := rand.New(rand.NewSource(4))
+	n := NewMaxout(rng, 2, 3, 2)
+	if n.NumHidden() != 0 {
+		t.Fatalf("hidden = %d", n.NumHidden())
+	}
+	x := randInput(rng, 3)
+	if len(n.WinnerPattern(x)) != 0 {
+		t.Fatal("no-hidden network should have empty pattern")
+	}
+	w, b := n.LocalAffine(x)
+	if !w.MulVec(x).AddInPlace(b.Clone()).EqualApprox(n.Logits(x), 1e-12) {
+		t.Fatal("affine map wrong for linear model")
+	}
+}
+
+func TestMaxoutLocalAffineMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewMaxout(rng, 3, 6, 10, 7, 4)
+	for trial := 0; trial < 20; trial++ {
+		x := randInput(rng, 6)
+		w, b := n.LocalAffine(x)
+		want := n.Logits(x)
+		got := w.MulVec(x).AddInPlace(b.Clone())
+		if !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("affine %v != logits %v", got, want)
+		}
+	}
+}
+
+func TestMaxoutInputGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := NewMaxout(rng, 2, 4, 6, 3)
+	x := randInput(rng, 4)
+	const h = 1e-7
+	for c := 0; c < 3; c++ {
+		g := n.InputGradient(x, c)
+		for i := range x {
+			xp, xm := x.Clone(), x.Clone()
+			xp[i] += h
+			xm[i] -= h
+			fd := (n.Logits(xp)[c] - n.Logits(xm)[c]) / (2 * h)
+			if math.Abs(fd-g[i]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("class %d dim %d: %v vs %v", c, i, g[i], fd)
+			}
+		}
+	}
+}
+
+func TestMaxoutTrainsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs, ys := twoBlobs(rng, 80)
+	n := NewMaxout(rng, 2, 2, 8, 2)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 25, LearningRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestMaxoutTrainsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs, ys := xorData(rng, 60)
+	n := NewMaxout(rng, 3, 2, 12, 2)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 150, LearningRate: 0.03, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.9 {
+		t.Fatalf("XOR accuracy = %v", acc)
+	}
+}
+
+func TestMaxoutTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewMaxout(rng, 2, 2, 4, 2)
+	if _, err := n.Train(rng, nil, nil, TrainConfig{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := n.Train(rng, []mat.Vec{{1, 2}}, []int{0, 1}, TrainConfig{}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := n.Train(rng, []mat.Vec{{1, 2}}, []int{7}, TrainConfig{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestMaxoutForwardPanicsOnWrongDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := NewMaxout(rng, 2, 3, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Predict(mat.Vec{1})
+}
+
+// Property: MaxOut networks are exactly locally linear — same winner
+// pattern implies affine interpolation of logits.
+func TestPropertyMaxoutLocalLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := NewMaxout(rng, 3, 4, 7, 3)
+	samePattern := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randInput(r, 4)
+		y := x.Clone()
+		for i := range y {
+			y[i] += 1e-9 * r.NormFloat64()
+		}
+		if !samePattern(n.WinnerPattern(x), n.WinnerPattern(y)) {
+			return true // vacuous
+		}
+		mid := x.Add(y).ScaleInPlace(0.5)
+		want := n.Logits(x).Add(n.Logits(y)).ScaleInPlace(0.5)
+		return n.Logits(mid).EqualApprox(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

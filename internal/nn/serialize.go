@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/mat"
+)
+
+// networkJSON is the on-disk representation of a Network.
+type networkJSON struct {
+	Format string      `json:"format"`
+	Leak   float64     `json:"leak,omitempty"`
+	Layers []layerJSON `json:"layers"`
+}
+
+type layerJSON struct {
+	Rows int         `json:"rows"`
+	Cols int         `json:"cols"`
+	W    [][]float64 `json:"w"`
+	B    []float64   `json:"b"`
+}
+
+const formatTag = "openapi-plnn-v1"
+
+// MarshalJSON encodes the network's architecture and parameters.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	out := networkJSON{Format: formatTag, Leak: n.leak, Layers: make([]layerJSON, len(n.layers))}
+	for i, l := range n.layers {
+		lj := layerJSON{Rows: l.W.Rows(), Cols: l.W.Cols(), B: l.B.Clone()}
+		lj.W = make([][]float64, lj.Rows)
+		for r := 0; r < lj.Rows; r++ {
+			lj.W[r] = l.W.Row(r)
+		}
+		out.Layers[i] = lj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a network written by MarshalJSON, validating shapes.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in networkJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	if in.Format != formatTag {
+		return fmt.Errorf("nn: unknown format %q (want %q)", in.Format, formatTag)
+	}
+	if len(in.Layers) == 0 {
+		return fmt.Errorf("nn: no layers in serialized network")
+	}
+	layers := make([]Layer, len(in.Layers))
+	for i, lj := range in.Layers {
+		if lj.Rows <= 0 || lj.Cols <= 0 {
+			return fmt.Errorf("nn: layer %d has invalid shape %dx%d", i, lj.Rows, lj.Cols)
+		}
+		if len(lj.W) != lj.Rows || len(lj.B) != lj.Rows {
+			return fmt.Errorf("nn: layer %d row/bias count mismatch", i)
+		}
+		if i > 0 && lj.Cols != in.Layers[i-1].Rows {
+			return fmt.Errorf("nn: layer %d input %d != previous output %d", i, lj.Cols, in.Layers[i-1].Rows)
+		}
+		flat := make([]float64, 0, lj.Rows*lj.Cols)
+		for r, row := range lj.W {
+			if len(row) != lj.Cols {
+				return fmt.Errorf("nn: layer %d row %d has %d cols, want %d", i, r, len(row), lj.Cols)
+			}
+			flat = append(flat, row...)
+		}
+		layers[i] = Layer{
+			W: mat.NewDenseFrom(lj.Rows, lj.Cols, flat),
+			B: append([]float64(nil), lj.B...),
+		}
+	}
+	n.layers = layers
+	n.leak = 0
+	if in.Leak > 0 && in.Leak < 1 {
+		n.leak = in.Leak
+	}
+	return nil
+}
+
+// Save writes the network to path as JSON.
+func (n *Network) Save(path string) error {
+	data, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("nn: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("nn: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a network saved by Save.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load %s: %w", path, err)
+	}
+	var n Network
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// WriteTo streams the JSON encoding of the network to w.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.Marshal(n)
+	if err != nil {
+		return 0, err
+	}
+	nw, err := w.Write(data)
+	return int64(nw), err
+}
+
+// Read decodes a network from r.
+func Read(r io.Reader) (*Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: read: %w", err)
+	}
+	var n Network
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}

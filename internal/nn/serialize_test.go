@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	n := New(rng, 4, 6, 3)
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := n.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	if !n.Logits(x).EqualApprox(loaded.Logits(x), 0) {
+		t.Fatal("loaded network differs from original")
+	}
+	if loaded.InputDim() != 4 || loaded.Classes() != 3 {
+		t.Fatal("loaded shapes wrong")
+	}
+}
+
+func TestWriteToReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := New(rng, 3, 5, 2)
+	var buf bytes.Buffer
+	if _, err := n.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{1, -1, 0.5}
+	if !n.Predict(x).EqualApprox(loaded.Predict(x), 0) {
+		t.Fatal("round trip changed predictions")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var n Network
+	cases := []string{
+		`not json`,
+		`{"format":"wrong","layers":[]}`,
+		`{"format":"openapi-plnn-v1","layers":[]}`,
+		`{"format":"openapi-plnn-v1","layers":[{"rows":0,"cols":1,"w":[],"b":[]}]}`,
+		`{"format":"openapi-plnn-v1","layers":[{"rows":1,"cols":1,"w":[[1,2]],"b":[0]}]}`,
+		`{"format":"openapi-plnn-v1","layers":[{"rows":1,"cols":2,"w":[[1,2]],"b":[0]},{"rows":1,"cols":3,"w":[[1,2,3]],"b":[0]}]}`,
+	}
+	for _, c := range cases {
+		if err := n.UnmarshalJSON([]byte(c)); err == nil {
+			t.Fatalf("accepted garbage: %s", c)
+		}
+	}
+}
+
+func TestMarshalContainsFormatTag(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := New(rng, 2, 2)
+	data, err := n.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), formatTag) {
+		t.Fatal("format tag missing from output")
+	}
+}

@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Optimizer selects the parameter update rule.
+type Optimizer int
+
+const (
+	// SGD is mini-batch gradient descent with classical momentum — the
+	// "standard back-propagation" setup the paper uses for its PLNN.
+	SGD Optimizer = iota
+	// Adam is the adaptive-moment update (Kingma & Ba, 2015); useful when
+	// a caller's dataset needs less learning-rate tuning.
+	Adam
+)
+
+// String returns the optimizer's name.
+func (o Optimizer) String() string {
+	switch o {
+	case SGD:
+		return "sgd"
+	case Adam:
+		return "adam"
+	}
+	return "optimizer(?)"
+}
+
+// TrainConfig controls mini-batch training.
+type TrainConfig struct {
+	Epochs       int       // passes over the training set (default 10)
+	BatchSize    int       // mini-batch size (default 32)
+	LearningRate float64   // step size (default 0.1 for SGD, 0.001 for Adam)
+	Momentum     float64   // SGD momentum coefficient in [0, 1) (default 0.9)
+	WeightDecay  float64   // L2 penalty coefficient (default 0)
+	Optimizer    Optimizer // update rule (default SGD)
+	Beta1        float64   // Adam first-moment decay (default 0.9)
+	Beta2        float64   // Adam second-moment decay (default 0.999)
+	Verbose      bool      // log per-epoch loss via the Progress callback
+	// Progress, when non-nil, is called after each epoch with the epoch
+	// index (1-based) and the mean training loss of that epoch.
+	Progress func(epoch int, loss float64)
+}
+
+func (c *TrainConfig) setDefaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate <= 0 {
+		if c.Optimizer == Adam {
+			c.LearningRate = 0.001
+		} else {
+			c.LearningRate = 0.1
+		}
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		c.Momentum = 0.9
+	}
+	if c.WeightDecay < 0 {
+		c.WeightDecay = 0
+	}
+	if c.Beta1 <= 0 || c.Beta1 >= 1 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 <= 0 || c.Beta2 >= 1 {
+		c.Beta2 = 0.999
+	}
+}
+
+// gradients accumulates parameter gradients for one mini-batch.
+type gradients struct {
+	dW []*mat.Dense
+	dB []mat.Vec
+}
+
+func newGradients(n *Network) *gradients {
+	g := &gradients{
+		dW: make([]*mat.Dense, len(n.layers)),
+		dB: make([]mat.Vec, len(n.layers)),
+	}
+	for i, l := range n.layers {
+		g.dW[i] = mat.NewDense(l.W.Rows(), l.W.Cols())
+		g.dB[i] = mat.NewVec(len(l.B))
+	}
+	return g
+}
+
+func (g *gradients) zero() {
+	for i := range g.dW {
+		r, c := g.dW[i].Dims()
+		for ri := 0; ri < r; ri++ {
+			row := g.dW[i].RawRow(ri)
+			for ci := 0; ci < c; ci++ {
+				row[ci] = 0
+			}
+		}
+		g.dB[i].Fill(0)
+	}
+}
+
+// accumulate runs one forward/backward pass for (x, label), adds the
+// parameter gradients into g, and returns the sample's cross-entropy loss.
+func (n *Network) accumulate(g *gradients, x mat.Vec, label int) float64 {
+	st := n.forward(x)
+	last := len(n.layers) - 1
+	probs := Softmax(st.z[last])
+	loss := CrossEntropy(probs, label)
+
+	// delta = dL/dz for the softmax + cross-entropy head: p - onehot(label).
+	delta := probs.Clone()
+	delta[label] -= 1
+
+	for i := last; i >= 0; i-- {
+		// dW_i += delta * a_i^T ; dB_i += delta.
+		ai := st.a[i]
+		dw := g.dW[i]
+		for r, dr := range delta {
+			if dr == 0 {
+				continue
+			}
+			row := dw.RawRow(r)
+			for c, av := range ai {
+				row[c] += dr * av
+			}
+		}
+		g.dB[i].AddInPlace(delta)
+		if i == 0 {
+			break
+		}
+		// Propagate through W_i and the (leaky) ReLU of layer i-1.
+		delta = n.layers[i].W.MulVecT(delta)
+		z := st.z[i-1]
+		for j := range delta {
+			if z[j] <= 0 {
+				delta[j] *= n.leak
+			}
+		}
+	}
+	return loss
+}
+
+// Train runs mini-batch SGD over (xs, labels) and returns the mean loss of
+// the final epoch. The shuffle order is drawn from rng, so training is
+// reproducible given the seed.
+func (n *Network) Train(rng *rand.Rand, xs []mat.Vec, labels []int, cfg TrainConfig) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	if len(xs) != len(labels) {
+		return 0, fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(labels))
+	}
+	for i, y := range labels {
+		if y < 0 || y >= n.Classes() {
+			return 0, fmt.Errorf("nn: label %d of sample %d out of range [0,%d)", y, i, n.Classes())
+		}
+	}
+	cfg.setDefaults()
+
+	grads := newGradients(n)
+	moment1 := newGradients(n) // SGD velocity / Adam first moment
+	var moment2 *gradients     // Adam second moment
+	if cfg.Optimizer == Adam {
+		moment2 = newGradients(n)
+	}
+	adamStep := 0
+	var lastLoss float64
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		order := rng.Perm(len(xs))
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			grads.zero()
+			for _, idx := range batch {
+				epochLoss += n.accumulate(grads, xs[idx], labels[idx])
+			}
+			invBatch := 1 / float64(len(batch))
+			switch cfg.Optimizer {
+			case Adam:
+				adamStep++
+				bc1 := 1 - math.Pow(cfg.Beta1, float64(adamStep))
+				bc2 := 1 - math.Pow(cfg.Beta2, float64(adamStep))
+				update := func(w, g, m1, m2 []float64) {
+					for c := range w {
+						gc := g[c]*invBatch + cfg.WeightDecay*w[c]
+						m1[c] = cfg.Beta1*m1[c] + (1-cfg.Beta1)*gc
+						m2[c] = cfg.Beta2*m2[c] + (1-cfg.Beta2)*gc*gc
+						mhat := m1[c] / bc1
+						vhat := m2[c] / bc2
+						w[c] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + 1e-8)
+					}
+				}
+				for i, l := range n.layers {
+					for r := 0; r < l.W.Rows(); r++ {
+						update(l.W.RawRow(r), grads.dW[i].RawRow(r),
+							moment1.dW[i].RawRow(r), moment2.dW[i].RawRow(r))
+					}
+					update(l.B, grads.dB[i], moment1.dB[i], moment2.dB[i])
+				}
+			default: // SGD with momentum
+				scale := cfg.LearningRate * invBatch
+				for i, l := range n.layers {
+					// v = mu*v - lr*(g/|B| + wd*W); W += v
+					for r := 0; r < l.W.Rows(); r++ {
+						wrow := l.W.RawRow(r)
+						grow := grads.dW[i].RawRow(r)
+						vrow := moment1.dW[i].RawRow(r)
+						for c := range wrow {
+							vrow[c] = cfg.Momentum*vrow[c] - scale*grow[c] - cfg.LearningRate*cfg.WeightDecay*wrow[c]
+							wrow[c] += vrow[c]
+						}
+					}
+					for j := range l.B {
+						moment1.dB[i][j] = cfg.Momentum*moment1.dB[i][j] - scale*grads.dB[i][j]
+						l.B[j] += moment1.dB[i][j]
+					}
+				}
+			}
+		}
+		lastLoss = epochLoss / float64(len(xs))
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// Loss returns the mean cross-entropy of the network over (xs, labels).
+func (n *Network) Loss(xs []mat.Vec, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total float64
+	for i, x := range xs {
+		total += CrossEntropy(n.Predict(x), labels[i])
+	}
+	return total / float64(len(xs))
+}

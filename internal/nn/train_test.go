@@ -1,0 +1,247 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// twoBlobs builds a linearly separable 2-class dataset.
+func twoBlobs(rng *rand.Rand, n int) ([]mat.Vec, []int) {
+	xs := make([]mat.Vec, 0, 2*n)
+	ys := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, mat.Vec{2 + rng.NormFloat64()*0.5, 2 + rng.NormFloat64()*0.5})
+		ys = append(ys, 0)
+		xs = append(xs, mat.Vec{-2 + rng.NormFloat64()*0.5, -2 + rng.NormFloat64()*0.5})
+		ys = append(ys, 1)
+	}
+	return xs, ys
+}
+
+// xorData builds the classic non-linearly-separable XOR dataset with jitter,
+// which a linear model cannot fit but one hidden layer can.
+func xorData(rng *rand.Rand, n int) ([]mat.Vec, []int) {
+	xs := make([]mat.Vec, 0, 4*n)
+	ys := make([]int, 0, 4*n)
+	corners := []struct {
+		x, y  float64
+		label int
+	}{
+		{1, 1, 0}, {-1, -1, 0}, {1, -1, 1}, {-1, 1, 1},
+	}
+	for i := 0; i < n; i++ {
+		for _, c := range corners {
+			xs = append(xs, mat.Vec{c.x + rng.NormFloat64()*0.1, c.y + rng.NormFloat64()*0.1})
+			ys = append(ys, c.label)
+		}
+	}
+	return xs, ys
+}
+
+func TestTrainSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs, ys := twoBlobs(rng, 100)
+	n := New(rng, 2, 8, 2)
+	loss, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 20, LearningRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.98 {
+		t.Fatalf("train accuracy = %v (loss %v)", acc, loss)
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs, ys := xorData(rng, 80)
+	n := New(rng, 2, 16, 2)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 120, LearningRate: 0.05, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("XOR accuracy = %v, PLNN should solve XOR", acc)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs, ys := twoBlobs(rng, 50)
+	n := New(rng, 2, 6, 2)
+	before := n.Loss(xs, ys)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 10}); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Loss(xs, ys)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := New(rng, 2, 2)
+	if _, err := n.Train(rng, nil, nil, TrainConfig{}); err == nil {
+		t.Fatal("expected error on empty set")
+	}
+	if _, err := n.Train(rng, []mat.Vec{{1, 2}}, []int{0, 1}, TrainConfig{}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	if _, err := n.Train(rng, []mat.Vec{{1, 2}}, []int{5}, TrainConfig{}); err == nil {
+		t.Fatal("expected error on out-of-range label")
+	}
+}
+
+func TestTrainProgressCallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	xs, ys := twoBlobs(rng, 10)
+	n := New(rng, 2, 4, 2)
+	var epochs []int
+	_, err := n.Train(rng, xs, ys, TrainConfig{
+		Epochs:   3,
+		Progress: func(e int, loss float64) { epochs = append(epochs, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 || epochs[0] != 1 || epochs[2] != 3 {
+		t.Fatalf("progress epochs = %v", epochs)
+	}
+}
+
+func TestTrainIsReproducible(t *testing.T) {
+	build := func() *Network {
+		rng := rand.New(rand.NewSource(15))
+		xs, ys := twoBlobs(rng, 30)
+		n := New(rng, 2, 5, 2)
+		if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, b := build(), build()
+	x := mat.Vec{0.5, -0.5}
+	if !a.Logits(x).EqualApprox(b.Logits(x), 0) {
+		t.Fatal("same seed produced different networks")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	xs, ys := twoBlobs(rng, 30)
+
+	frob := func(decay float64, seed int64) float64 {
+		r := rand.New(rand.NewSource(seed))
+		n := New(r, 2, 6, 2)
+		if _, err := n.Train(r, xs, ys, TrainConfig{Epochs: 30, WeightDecay: decay}); err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i := 0; i < n.NumLayers(); i++ {
+			l := n.Layer(i)
+			total += l.W.FrobNorm()
+		}
+		return total
+	}
+	if plain, decayed := frob(0, 17), frob(0.05, 17); decayed >= plain {
+		t.Fatalf("weight decay did not shrink weights: %v vs %v", decayed, plain)
+	}
+}
+
+func TestParameterGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	n := New(rng, 3, 4, 2)
+	x := mat.Vec{0.2, -0.4, 0.6}
+	label := 1
+	g := newGradients(n)
+	n.accumulate(g, x, label)
+
+	const h = 1e-6
+	// Check a handful of weight entries in each layer.
+	for li := 0; li < n.NumLayers(); li++ {
+		l := n.layers[li]
+		for _, rc := range [][2]int{{0, 0}, {l.W.Rows() - 1, l.W.Cols() - 1}} {
+			r, c := rc[0], rc[1]
+			orig := l.W.At(r, c)
+			l.W.Set(r, c, orig+h)
+			up := CrossEntropy(n.Predict(x), label)
+			l.W.Set(r, c, orig-h)
+			down := CrossEntropy(n.Predict(x), label)
+			l.W.Set(r, c, orig)
+			fd := (up - down) / (2 * h)
+			got := g.dW[li].At(r, c)
+			if math.Abs(fd-got) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("layer %d W[%d,%d]: analytic %v vs fd %v", li, r, c, got, fd)
+			}
+		}
+		// And one bias entry.
+		origB := l.B[0]
+		l.B[0] = origB + h
+		up := CrossEntropy(n.Predict(x), label)
+		l.B[0] = origB - h
+		down := CrossEntropy(n.Predict(x), label)
+		l.B[0] = origB
+		fd := (up - down) / (2 * h)
+		if got := g.dB[li][0]; math.Abs(fd-got) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("layer %d B[0]: analytic %v vs fd %v", li, got, fd)
+		}
+	}
+}
+
+func TestLossEmptySet(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := New(rng, 2, 2)
+	if n.Loss(nil, nil) != 0 {
+		t.Fatal("empty loss should be 0")
+	}
+}
+
+func TestAdamTrainsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	xs, ys := twoBlobs(rng, 80)
+	n := New(rng, 2, 8, 2)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 20, Optimizer: Adam}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.98 {
+		t.Fatalf("Adam accuracy = %v", acc)
+	}
+}
+
+func TestAdamSolvesXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	xs, ys := xorData(rng, 60)
+	n := New(rng, 2, 16, 2)
+	if _, err := n.Train(rng, xs, ys, TrainConfig{Epochs: 120, Optimizer: Adam, LearningRate: 0.01, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("Adam XOR accuracy = %v", acc)
+	}
+}
+
+func TestAdamHandlesBadlyScaledFeatures(t *testing.T) {
+	// Feature scales differ by 10^4; Adam's per-parameter step should cope
+	// at its default learning rate without any tuning.
+	rng := rand.New(rand.NewSource(52))
+	xs, ys := twoBlobs(rng, 60)
+	for i := range xs {
+		xs[i] = mat.Vec{xs[i][0] * 100, xs[i][1] * 0.01}
+	}
+	r := rand.New(rand.NewSource(53))
+	n := New(r, 2, 8, 2)
+	if _, err := n.Train(r, xs, ys, TrainConfig{Epochs: 30, Optimizer: Adam}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("Adam accuracy on scaled features = %v", acc)
+	}
+}
+
+func TestOptimizerString(t *testing.T) {
+	if SGD.String() != "sgd" || Adam.String() != "adam" || Optimizer(9).String() == "" {
+		t.Fatal("optimizer names wrong")
+	}
+}

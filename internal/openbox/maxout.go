@@ -1,0 +1,46 @@
+package openbox
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/plm"
+)
+
+// Maxout adapts an nn.MaxoutNetwork to plm.RegionModel. The region of an
+// instance is indexed by which affine piece wins at every hidden unit; the
+// ground-truth local classifier comes from folding the winning pieces.
+type Maxout struct {
+	Net *nn.MaxoutNetwork
+}
+
+var _ plm.RegionModel = (*Maxout)(nil)
+
+// Predict returns softmax class probabilities.
+func (m *Maxout) Predict(x mat.Vec) mat.Vec { return m.Net.Predict(x) }
+
+// Dim returns the input dimensionality.
+func (m *Maxout) Dim() int { return m.Net.InputDim() }
+
+// Classes returns the number of classes.
+func (m *Maxout) Classes() int { return m.Net.Classes() }
+
+// RegionKey fingerprints the winner pattern at x.
+func (m *Maxout) RegionKey(x mat.Vec) string {
+	pat := m.Net.WinnerPattern(x)
+	h := fnv.New64a()
+	buf := make([]byte, len(pat))
+	for i, p := range pat {
+		buf[i] = byte(p)
+	}
+	h.Write(buf)
+	return fmt.Sprintf("maxout-%d-%016x", len(pat), h.Sum64())
+}
+
+// LocalAt extracts the exact locally linear classifier at x.
+func (m *Maxout) LocalAt(x mat.Vec) (*plm.Linear, error) {
+	w, b := m.Net.LocalAffine(x)
+	return plm.NewLinear(w, b, m.RegionKey(x))
+}

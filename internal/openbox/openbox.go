@@ -1,0 +1,114 @@
+// Package openbox computes the exact locally linear classifier of a PLNN at
+// a given instance from the network's parameters (Chu et al., KDD 2018),
+// which the paper uses as ground truth for its PLNN experiments.
+//
+// For a ReLU network, fixing the activation pattern of an input x turns
+// every hidden nonlinearity into a diagonal 0/1 matrix, so the logits become
+// an exact affine function  z = W_eff x + b_eff  valid on the whole locally
+// linear region containing x. This package folds the layers into (W_eff,
+// b_eff), exposes the result as a plm.Linear, and fingerprints the region
+// for the Region Difference metric.
+package openbox
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/plm"
+)
+
+// Extract folds the network's layers at x into the affine map of the
+// locally linear region containing x.
+func Extract(n *nn.Network, x mat.Vec) (*plm.Linear, error) {
+	if len(x) != n.InputDim() {
+		return nil, fmt.Errorf("openbox: input length %d != %d", len(x), n.InputDim())
+	}
+	d := n.InputDim()
+	// Effective map starts as the identity: cur = I x + 0.
+	curW := mat.Identity(d)
+	curB := mat.NewVec(d)
+	var pattern []bool
+
+	// For a Leaky/Parametric ReLU network the inactive side multiplies by
+	// the negative slope instead of zeroing — still piecewise linear, same
+	// region structure.
+	leak := n.Leak()
+	cur := x.Clone()
+	for li := 0; li < n.NumLayers(); li++ {
+		l := n.Layer(li)
+		// Affine composition: z = W_l (curW x + curB) + B_l.
+		nextW := l.W.Mul(curW)
+		nextB := l.W.MulVec(curB).AddInPlace(l.B)
+		z := l.W.MulVec(cur).AddInPlace(l.B)
+		if li < n.NumLayers()-1 {
+			mask := nn.ReLUMask(z)
+			pattern = append(pattern, mask...)
+			for r, active := range mask {
+				if active {
+					continue
+				}
+				nextW.RawRow(r).ScaleInPlace(leak)
+				nextB[r] *= leak
+				z[r] *= leak
+			}
+		}
+		curW, curB, cur = nextW, nextB, z
+	}
+	return plm.NewLinear(curW, curB, PatternKey(pattern))
+}
+
+// PatternKey returns a stable string fingerprint of an activation pattern.
+func PatternKey(pattern []bool) string {
+	h := fnv.New64a()
+	buf := make([]byte, (len(pattern)+7)/8)
+	for i, b := range pattern {
+		if b {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	h.Write(buf)
+	return fmt.Sprintf("plnn-%d-%016x", len(pattern), h.Sum64())
+}
+
+// SameRegion reports whether two instances share a locally linear region of
+// the network (identical activation patterns).
+func SameRegion(n *nn.Network, a, b mat.Vec) bool {
+	pa := n.ActivationPattern(a)
+	pb := n.ActivationPattern(b)
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PLNN adapts an nn.Network to the plm.RegionModel interface, giving the
+// evaluation harness a uniform white-box view of the network.
+type PLNN struct {
+	Net *nn.Network
+}
+
+var _ plm.RegionModel = (*PLNN)(nil)
+
+// Predict returns softmax class probabilities.
+func (p *PLNN) Predict(x mat.Vec) mat.Vec { return p.Net.Predict(x) }
+
+// Dim returns the network's input dimensionality.
+func (p *PLNN) Dim() int { return p.Net.InputDim() }
+
+// Classes returns the number of output classes.
+func (p *PLNN) Classes() int { return p.Net.Classes() }
+
+// RegionKey fingerprints the activation pattern at x.
+func (p *PLNN) RegionKey(x mat.Vec) string {
+	return PatternKey(p.Net.ActivationPattern(x))
+}
+
+// LocalAt extracts the locally linear classifier at x.
+func (p *PLNN) LocalAt(x mat.Vec) (*plm.Linear, error) { return Extract(p.Net, x) }

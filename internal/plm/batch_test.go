@@ -1,0 +1,95 @@
+package plm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// fakeModel counts per-instance and batch calls.
+type fakeModel struct {
+	perCall    int
+	batchCall  int
+	failBatch  bool
+	shortBatch bool
+}
+
+func (f *fakeModel) Predict(x mat.Vec) mat.Vec {
+	f.perCall++
+	return mat.Vec{0.5, 0.5}
+}
+func (f *fakeModel) Dim() int     { return 1 }
+func (f *fakeModel) Classes() int { return 2 }
+
+type fakeBatchModel struct {
+	fakeModel
+}
+
+func (f *fakeBatchModel) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	f.batchCall++
+	if f.failBatch {
+		return nil, errors.New("batch endpoint down")
+	}
+	n := len(xs)
+	if f.shortBatch {
+		n-- // malformed server: one answer missing
+	}
+	out := make([]mat.Vec, n)
+	for i := range out {
+		out[i] = mat.Vec{0.9, 0.1}
+	}
+	return out, nil
+}
+
+func TestPredictAllUsesBatchWhenAvailable(t *testing.T) {
+	m := &fakeBatchModel{}
+	xs := []mat.Vec{{1}, {2}, {3}}
+	out := PredictAll(m, xs)
+	if len(out) != 3 {
+		t.Fatalf("got %d results", len(out))
+	}
+	if m.batchCall != 1 || m.perCall != 0 {
+		t.Fatalf("batch=%d per=%d", m.batchCall, m.perCall)
+	}
+	if out[0][0] != 0.9 {
+		t.Fatal("batch results not used")
+	}
+}
+
+func TestPredictAllFallsBackOnBatchError(t *testing.T) {
+	m := &fakeBatchModel{fakeModel: fakeModel{failBatch: true}}
+	xs := []mat.Vec{{1}, {2}}
+	out := PredictAll(m, xs)
+	if len(out) != 2 || out[0][0] != 0.5 {
+		t.Fatal("fallback results wrong")
+	}
+	if m.perCall != 2 {
+		t.Fatalf("per-instance calls = %d", m.perCall)
+	}
+}
+
+func TestPredictAllFallsBackOnShortBatch(t *testing.T) {
+	m := &fakeBatchModel{fakeModel: fakeModel{shortBatch: true}}
+	xs := []mat.Vec{{1}, {2}}
+	out := PredictAll(m, xs)
+	if len(out) != 2 || out[1][0] != 0.5 {
+		t.Fatal("short batch should trigger fallback")
+	}
+}
+
+func TestPredictAllPlainModel(t *testing.T) {
+	m := &fakeModel{}
+	xs := []mat.Vec{{1}, {2}, {3}, {4}}
+	out := PredictAll(m, xs)
+	if len(out) != 4 || m.perCall != 4 {
+		t.Fatalf("plain path wrong: %d results, %d calls", len(out), m.perCall)
+	}
+}
+
+func TestPredictAllEmpty(t *testing.T) {
+	m := &fakeModel{}
+	if out := PredictAll(m, nil); len(out) != 0 {
+		t.Fatalf("empty input gave %d results", len(out))
+	}
+}

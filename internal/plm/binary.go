@@ -1,0 +1,53 @@
+package plm
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// ScoreFunc is the narrowest realistic API surface: a single probability
+// P(class 1 | x), the way many production binary classifiers are served.
+type ScoreFunc func(x mat.Vec) float64
+
+// Binary adapts a single-score API into the two-class Model the
+// interpreters consume: Predict(x) = [1-s(x), s(x)]. The paper treats
+// sigmoid as the two-class special case of softmax (§III); this adapter is
+// the practical bridge, so OpenAPI runs unchanged against score-only APIs.
+type Binary struct {
+	score ScoreFunc
+	dim   int
+}
+
+// NewBinary wraps score as a 2-class model over d-dimensional inputs.
+// It panics if score is nil or d is not positive.
+func NewBinary(score ScoreFunc, d int) *Binary {
+	if score == nil {
+		panic("plm: NewBinary needs a score function")
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("plm: NewBinary dimension %d", d))
+	}
+	return &Binary{score: score, dim: d}
+}
+
+var _ Model = (*Binary)(nil)
+
+// Predict returns the two-class distribution [1-s, s], clamping scores to
+// [0, 1] so a slightly out-of-range upstream API cannot produce negative
+// probabilities.
+func (b *Binary) Predict(x mat.Vec) mat.Vec {
+	s := b.score(x)
+	if s < 0 {
+		s = 0
+	} else if s > 1 {
+		s = 1
+	}
+	return mat.Vec{1 - s, s}
+}
+
+// Dim returns the input dimensionality.
+func (b *Binary) Dim() int { return b.dim }
+
+// Classes returns 2.
+func (b *Binary) Classes() int { return 2 }

@@ -1,0 +1,64 @@
+package plm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestBinaryAdapter(t *testing.T) {
+	b := NewBinary(func(x mat.Vec) float64 { return 0.8 }, 3)
+	if b.Dim() != 3 || b.Classes() != 2 {
+		t.Fatal("metadata wrong")
+	}
+	p := b.Predict(mat.Vec{0, 0, 0})
+	if math.Abs(p[1]-0.8) > 1e-15 || math.Abs(p[0]-0.2) > 1e-15 {
+		t.Fatalf("Predict = %v", p)
+	}
+}
+
+func TestBinaryClampsOutOfRangeScores(t *testing.T) {
+	high := NewBinary(func(mat.Vec) float64 { return 1.7 }, 1)
+	if p := high.Predict(mat.Vec{0}); p[1] != 1 || p[0] != 0 {
+		t.Fatalf("high clamp = %v", p)
+	}
+	low := NewBinary(func(mat.Vec) float64 { return -0.2 }, 1)
+	if p := low.Predict(mat.Vec{0}); p[1] != 0 || p[0] != 1 {
+		t.Fatalf("low clamp = %v", p)
+	}
+}
+
+func TestBinaryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBinary(nil, 2) },
+		func() { NewBinary(func(mat.Vec) float64 { return 0 }, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinaryLogOddsIsSigmoidLogit(t *testing.T) {
+	// For a sigmoid score s = σ(w·x+b), ln(p1/p0) must recover w·x+b
+	// exactly — the identity OpenAPI exploits.
+	w := mat.Vec{2, -1}
+	const bias = 0.5
+	model := NewBinary(func(x mat.Vec) float64 {
+		return 1 / (1 + math.Exp(-(w.Dot(x) + bias)))
+	}, 2)
+	for _, x := range []mat.Vec{{0, 0}, {1, 2}, {-3, 0.5}} {
+		p := model.Predict(x)
+		got := LogOdds(p, 1, 0)
+		want := w.Dot(x) + bias
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("log-odds %v != logit %v at %v", got, want, x)
+		}
+	}
+}

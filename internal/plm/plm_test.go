@@ -1,0 +1,197 @@
+package plm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func testLinear(t *testing.T) *Linear {
+	t.Helper()
+	w := mat.FromRows(
+		mat.Vec{1, 2, 3},
+		mat.Vec{0, -1, 1},
+		mat.Vec{2, 0, -2},
+	)
+	l, err := NewLinear(w, mat.Vec{0.5, -0.5, 0}, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := NewLinear(nil, nil, ""); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := NewLinear(mat.NewDense(2, 3), mat.Vec{1}, ""); err == nil {
+		t.Fatal("bias mismatch accepted")
+	}
+	if _, err := NewLinear(mat.NewDense(1, 3), mat.Vec{1}, ""); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestLinearLogits(t *testing.T) {
+	l := testLinear(t)
+	x := mat.Vec{1, 1, 1}
+	got := l.Logits(x)
+	want := mat.Vec{6.5, -0.5, 0}
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("logits = %v, want %v", got, want)
+	}
+	if l.Classes() != 3 || l.Dim() != 3 {
+		t.Fatal("shape accessors wrong")
+	}
+}
+
+func TestCoreParamsIdentity(t *testing.T) {
+	// The log-odds identity D^T x + B = ln(yc/yc') must hold exactly for
+	// softmax probabilities computed from the logits.
+	l := testLinear(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := mat.Vec{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		z := l.Logits(x)
+		p := softmax(z)
+		for c := 0; c < 3; c++ {
+			for cp := 0; cp < 3; cp++ {
+				if c == cp {
+					continue
+				}
+				d, b := l.CoreParams(c, cp)
+				lhs := d.Dot(x) + b
+				rhs := LogOdds(p, c, cp)
+				if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+					t.Fatalf("identity violated: %v vs %v", lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+func softmax(z mat.Vec) mat.Vec {
+	m := z.Max()
+	out := make(mat.Vec, len(z))
+	var sum float64
+	for i, v := range z {
+		out[i] = math.Exp(v - m)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func TestDecisionFeaturesAgainstBruteForce(t *testing.T) {
+	l := testLinear(t)
+	for c := 0; c < 3; c++ {
+		want := mat.NewVec(3)
+		for cp := 0; cp < 3; cp++ {
+			if cp == c {
+				continue
+			}
+			d, _ := l.CoreParams(c, cp)
+			want.AddInPlace(d)
+		}
+		want.ScaleInPlace(0.5)
+		if got := l.DecisionFeatures(c); !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("class %d: %v vs %v", c, got, want)
+		}
+	}
+}
+
+func TestDecisionFeaturesSumToZero(t *testing.T) {
+	// Σ_c D_c = 0 because each pair difference appears with both signs.
+	l := testLinear(t)
+	sum := mat.NewVec(3)
+	for c := 0; c < 3; c++ {
+		sum.AddInPlace(l.DecisionFeatures(c))
+	}
+	if sum.NormInf() > 1e-12 {
+		t.Fatalf("decision features do not cancel: %v", sum)
+	}
+}
+
+func TestDecisionFeaturesShiftInvariant(t *testing.T) {
+	// Adding the same row vector to every class weight must not change D_c
+	// (softmax logits are defined up to a shared shift).
+	l := testLinear(t)
+	shift := mat.Vec{5, -3, 2}
+	w2 := l.W.Clone()
+	for r := 0; r < w2.Rows(); r++ {
+		w2.RawRow(r).AddInPlace(shift)
+	}
+	l2, err := NewLinear(w2, l.B.Clone(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if !l.DecisionFeatures(c).EqualApprox(l2.DecisionFeatures(c), 1e-12) {
+			t.Fatalf("class %d decision features changed under logit shift", c)
+		}
+	}
+}
+
+func TestDecisionBias(t *testing.T) {
+	l := testLinear(t)
+	// class 0: ((0.5 - (-0.5)) + (0.5 - 0)) / 2 = 0.75
+	if got := l.DecisionBias(0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("DecisionBias(0) = %v", got)
+	}
+}
+
+func TestCheckClassPanics(t *testing.T) {
+	l := testLinear(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.DecisionFeatures(3)
+}
+
+func TestLogOddsSaturation(t *testing.T) {
+	p := mat.Vec{1, 0} // fully saturated
+	lo := LogOdds(p, 0, 1)
+	if math.IsInf(lo, 0) || math.IsNaN(lo) {
+		t.Fatalf("LogOdds saturated to %v", lo)
+	}
+	if lo <= 100 {
+		t.Fatalf("LogOdds of saturated prediction should be very large, got %v", lo)
+	}
+	if got := LogOdds(p, 1, 0); got != -lo {
+		t.Fatalf("antisymmetry broken: %v vs %v", got, -lo)
+	}
+	if got := LogOdds(mat.Vec{0.5, 0.5}, 0, 1); got != 0 {
+		t.Fatalf("equal probabilities should give 0, got %v", got)
+	}
+}
+
+// Property: for random Linears, two-class decision features reduce to the
+// single pair difference (C=2 special case the paper starts from).
+func TestPropertyTwoClassDecisionFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(d8 uint8) bool {
+		d := int(d8%8) + 1
+		w := mat.NewDense(2, d)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < d; c++ {
+				w.Set(r, c, rng.NormFloat64())
+			}
+		}
+		l, err := NewLinear(w, mat.Vec{rng.NormFloat64(), rng.NormFloat64()}, "")
+		if err != nil {
+			return false
+		}
+		d01, _ := l.CoreParams(0, 1)
+		return l.DecisionFeatures(0).EqualApprox(d01, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

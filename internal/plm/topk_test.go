@@ -1,0 +1,58 @@
+package plm
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestTopK(t *testing.T) {
+	in := &Interpretation{Features: mat.Vec{0.5, -2, 1, 0}}
+	top := in.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].Index != 1 || top[0].Weight != -2 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Index != 2 || top[1].Weight != 1 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+}
+
+func TestTopKClampsAndEmpty(t *testing.T) {
+	in := &Interpretation{Features: mat.Vec{1, 2}}
+	if got := in.TopK(99); len(got) != 2 {
+		t.Fatalf("oversized k gave %d", len(got))
+	}
+	if got := in.TopK(0); got != nil {
+		t.Fatalf("k=0 gave %v", got)
+	}
+	if got := in.TopK(-3); got != nil {
+		t.Fatalf("negative k gave %v", got)
+	}
+}
+
+func TestTopKStableOnTies(t *testing.T) {
+	in := &Interpretation{Features: mat.Vec{1, -1, 1}}
+	top := in.TopK(3)
+	if top[0].Index != 0 || top[1].Index != 1 || top[2].Index != 2 {
+		t.Fatalf("tie order broken: %+v", top)
+	}
+}
+
+func TestSupportingOpposing(t *testing.T) {
+	in := &Interpretation{Features: mat.Vec{0.5, -2, 0, 1}}
+	sup := in.Supporting()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 3 {
+		t.Fatalf("Supporting = %v", sup)
+	}
+	opp := in.Opposing()
+	if len(opp) != 1 || opp[0] != 1 {
+		t.Fatalf("Opposing = %v", opp)
+	}
+	// Zero weights belong to neither set.
+	if len(sup)+len(opp) != 3 {
+		t.Fatal("zero weight misclassified")
+	}
+}
