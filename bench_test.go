@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -356,6 +357,55 @@ func BenchmarkOpenAPI_OverHTTP_Unbatched(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// --- Cross-instance query aggregation ------------------------------------------
+
+// benchPoolOverHTTP measures the server-counted HTTP round trips a pool of 8
+// concurrent interpreters costs, with per-job batching (each worker ships its
+// own sample sets) versus cross-instance aggregation (an api.Aggregator
+// coalesces all workers' probes into shared wire exchanges).
+func benchPoolOverHTTP(b *testing.B, aggregate bool) {
+	model := benchPLNNModel(34, 16)
+	srv := api.NewServer(model, "bench-pool")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := api.Dial(ts.URL, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(35))
+	xs := make([]mat.Vec, 16)
+	for i := range xs {
+		xs[i] = randVecBench(rng, 16)
+	}
+	pool := core.NewPool(core.Config{Seed: 36}, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m plm.Model = client
+		var agg *api.Aggregator
+		if aggregate {
+			agg = api.NewAggregator(client, api.AggregatorConfig{Window: 2 * time.Millisecond})
+			m = agg
+		}
+		for _, r := range pool.InterpretMany(m, xs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		if agg != nil {
+			agg.Close()
+		}
+	}
+	b.StopTimer()
+	if err := client.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(srv.Requests())/float64(b.N), "round-trips/op")
+	b.ReportMetric(float64(srv.Queries())/float64(b.N), "queries/op")
+}
+
+func BenchmarkOpenAPI_OverHTTP_Pool(b *testing.B)           { benchPoolOverHTTP(b, false) }
+func BenchmarkOpenAPI_OverHTTP_AggregatedPool(b *testing.B) { benchPoolOverHTTP(b, true) }
 
 // --- Baseline probing cost -----------------------------------------------------
 

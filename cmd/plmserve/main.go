@@ -29,6 +29,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		name      = flag.String("name", "", "advertised model name (default: file path)")
 		latency   = flag.Duration("latency", 0, "artificial per-request latency")
+		logStats  = flag.Duration("log-stats", 0, "periodically log served queries and round trips (0: off)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -48,6 +49,21 @@ func main() {
 	fmt.Printf("serving %s (%d features, %d classes) on %s\n",
 		*name, model.Dim(), model.Classes(), *addr)
 	fmt.Println("endpoints: GET /meta, POST /predict, POST /batch, GET /stats")
+
+	if *logStats > 0 {
+		// The queries/round-trips ratio shows how well clients batch: an
+		// aggregated interpreter pool drives it far above 1.
+		go func() {
+			for range time.Tick(*logStats) {
+				q, rt := srv.Queries(), srv.Requests()
+				ratio := float64(q)
+				if rt > 0 {
+					ratio = float64(q) / float64(rt)
+				}
+				log.Printf("served %d queries over %d round trips (%.1f queries/trip)", q, rt, ratio)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

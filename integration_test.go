@@ -6,12 +6,17 @@ package repro
 // would wire together.
 
 import (
+	"math/rand"
 	"net/http/httptest"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/nn"
+	"repro/internal/openbox"
 	"repro/internal/plm"
 )
 
@@ -111,6 +116,66 @@ func TestIntegrationExtractThenServeSurrogate(t *testing.T) {
 	got := cloneRemote.Predict(probes[0])
 	if !got.EqualApprox(want, 1e-9) {
 		t.Fatalf("served clone %v != victim %v at probe", got, want)
+	}
+}
+
+func TestIntegrationAggregatedPoolSavesRoundTrips(t *testing.T) {
+	// The batching acceptance gate: at pool size 8, routing every worker's
+	// probes through one aggregator must cost at most half the HTTP round
+	// trips of per-job batching (server-counted), while every recovered
+	// interpretation stays bit-identical.
+	rng := rand.New(rand.NewSource(46))
+	model := &openbox.PLNN{Net: nn.New(rng, 16, 32, 16, 4)}
+	xs := make([]Vec, 16)
+	for i := range xs {
+		xs[i] = make(Vec, 16)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+
+	run := func(aggregate bool) (int64, []core.Result) {
+		srv := api.NewServer(model, "agg-gate")
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		remote, err := DialModel(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Model = remote
+		var agg *api.Aggregator
+		if aggregate {
+			// A generous window keeps the workers' waves coalescing even on
+			// a slow CI machine; wall-clock latency is not under test here.
+			agg = api.NewAggregator(remote, api.AggregatorConfig{Window: 25 * time.Millisecond})
+			m = agg
+		}
+		results := core.NewPool(core.Config{Seed: 47}, 8).InterpretMany(m, xs)
+		if agg != nil {
+			agg.Close()
+		}
+		if err := remote.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("instance %d failed: %v", i, r.Err)
+			}
+		}
+		return srv.Requests(), results
+	}
+
+	perJobTrips, plain := run(false)
+	aggTrips, batched := run(true)
+	t.Logf("round trips: per-job %d, aggregated %d", perJobTrips, aggTrips)
+	if aggTrips*2 > perJobTrips {
+		t.Fatalf("aggregation saved too little: %d round trips vs %d per-job (need >= 2x fewer)",
+			aggTrips, perJobTrips)
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Interp, batched[i].Interp) {
+			t.Fatalf("instance %d: aggregated interpretation differs from per-job", i)
+		}
 	}
 }
 

@@ -1,0 +1,269 @@
+package api
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// AggregatorConfig tunes cross-caller query batching. The zero value gives
+// usable defaults.
+type AggregatorConfig struct {
+	// MaxBatch flushes the pending queue as soon as it holds this many
+	// probes, without waiting for the window to elapse. Default 256.
+	MaxBatch int
+	// Window bounds how long the earliest pending probe waits before the
+	// queue is flushed regardless of size. It trades a little latency per
+	// probe for fewer round trips; keep it well below the service's own
+	// round-trip time budget. Default 2ms.
+	Window time.Duration
+}
+
+func (c *AggregatorConfig) setDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+}
+
+// Aggregator coalesces probe batches from many concurrent callers into
+// single PredictBatch round trips against the wrapped model. Interpretation
+// jobs running in parallel — a core.Pool's workers, say — each submit their
+// own d+k sample-set probes; the aggregator holds them briefly and ships one
+// combined batch, so the per-job round trips of a naive pool collapse into
+// one wire exchange per "wave" of concurrent work.
+//
+// A flush is triggered by whichever comes first: the pending queue reaching
+// MaxBatch probes, or the oldest pending probe having waited Window. Each
+// caller receives exactly its own results, in the order it submitted them,
+// so callers cannot observe each other. The wrapped model's responses are a
+// pure function of the input, hence interpretations computed through an
+// aggregator are bit-identical to unaggregated ones.
+//
+// An Aggregator is safe for concurrent use. Close it when the concurrent
+// jobs finish; a closed aggregator degrades to a transparent pass-through,
+// so late stragglers still get answers.
+type Aggregator struct {
+	inner plm.Model
+	cfg   AggregatorConfig
+
+	mu      sync.Mutex
+	pending []*aggWaiter
+	count   int
+	timer   *time.Timer
+	closed  bool
+
+	flushes atomic.Int64
+	probes  atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// aggWaiter is one caller's submission: its probes, the slot its results
+// land in, and the latch the caller blocks on until some flush serves it.
+type aggWaiter struct {
+	xs   []mat.Vec
+	out  []mat.Vec
+	err  error
+	done chan struct{}
+}
+
+// NewAggregator wraps inner with a query aggregator. inner should offer a
+// batch endpoint (plm.BatchPredictor) for the coalescing to save round
+// trips; without one the aggregator still works but each probe reaches the
+// model individually.
+func NewAggregator(inner plm.Model, cfg AggregatorConfig) *Aggregator {
+	cfg.setDefaults()
+	return &Aggregator{inner: inner, cfg: cfg}
+}
+
+// Dim forwards to the wrapped model.
+func (a *Aggregator) Dim() int { return a.inner.Dim() }
+
+// Classes forwards to the wrapped model.
+func (a *Aggregator) Classes() int { return a.inner.Classes() }
+
+// Flushes returns the number of batches shipped to the wrapped model so
+// far — the aggregator's round-trip count when the model is remote.
+func (a *Aggregator) Flushes() int64 { return a.flushes.Load() }
+
+// Probes returns the total number of probes served across all flushes.
+func (a *Aggregator) Probes() int64 { return a.probes.Load() }
+
+// Err returns the first batch error encountered via Predict, if any
+// (PredictBatch reports errors directly). Mirrors Client.Err.
+func (a *Aggregator) Err() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	return a.err
+}
+
+// ResetErr clears the sticky error.
+func (a *Aggregator) ResetErr() {
+	a.errMu.Lock()
+	a.err = nil
+	a.errMu.Unlock()
+}
+
+func (a *Aggregator) record(err error) {
+	a.errMu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.errMu.Unlock()
+}
+
+// Predict implements plm.Model: the probe joins the pending queue and the
+// call blocks until a flush serves it. Batch errors degrade to the uniform
+// distribution and are recorded stickily, like Client.Predict.
+func (a *Aggregator) Predict(x mat.Vec) mat.Vec {
+	out, err := a.submit([]mat.Vec{x})
+	if err != nil {
+		a.record(err)
+		u := make(mat.Vec, a.inner.Classes())
+		return u.Fill(1 / float64(a.inner.Classes()))
+	}
+	return out[0]
+}
+
+// PredictBatch implements plm.BatchPredictor: the whole batch joins the
+// pending queue as one unit and is answered in submission order.
+func (a *Aggregator) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	return a.submit(xs)
+}
+
+// Close flushes whatever is pending and turns the aggregator into a
+// pass-through. Safe to call more than once.
+func (a *Aggregator) Close() {
+	a.mu.Lock()
+	a.closed = true
+	batch := a.takeLocked()
+	a.mu.Unlock()
+	a.flush(batch)
+}
+
+// submit enqueues one caller's probes and blocks until they are answered.
+//
+// Liveness invariant: at every mu release, a nonempty pending queue has an
+// armed timer, so every waiter is collected by a size-triggered take, a
+// timer flush, or Close. A stale timer firing after its batch was already
+// taken either finds the queue empty (no-op) or flushes a newer batch a
+// little early (harmless).
+func (a *Aggregator) submit(xs []mat.Vec) ([]mat.Vec, error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		a.flushes.Add(1)
+		a.probes.Add(int64(len(xs)))
+		return predictAllErr(a.inner, xs)
+	}
+	w := &aggWaiter{xs: xs, done: make(chan struct{})}
+	a.pending = append(a.pending, w)
+	a.count += len(xs)
+	var batch []*aggWaiter
+	if a.count >= a.cfg.MaxBatch {
+		batch = a.takeLocked()
+	} else if a.timer == nil {
+		a.timer = time.AfterFunc(a.cfg.Window, a.timerFlush)
+	}
+	a.mu.Unlock()
+	a.flush(batch)
+	<-w.done
+	return w.out, w.err
+}
+
+// takeLocked detaches the entire pending queue. Callers hold mu.
+func (a *Aggregator) takeLocked() []*aggWaiter {
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	batch := a.pending
+	a.pending = nil
+	a.count = 0
+	return batch
+}
+
+func (a *Aggregator) timerFlush() {
+	a.mu.Lock()
+	batch := a.takeLocked()
+	a.mu.Unlock()
+	a.flush(batch)
+}
+
+// flush ships one combined batch and demuxes the answers back to each
+// waiter in submission order. It runs outside mu, so new submissions queue
+// up for the next flush while this round trip is in flight — that overlap
+// is where a pool's solve-one-while-probing-others concurrency comes from.
+func (a *Aggregator) flush(batch []*aggWaiter) {
+	if len(batch) == 0 {
+		return
+	}
+	n := 0
+	for _, w := range batch {
+		n += len(w.xs)
+	}
+	xs := make([]mat.Vec, 0, n)
+	for _, w := range batch {
+		xs = append(xs, w.xs...)
+	}
+	a.flushes.Add(1)
+	a.probes.Add(int64(n))
+	ys, err := predictAllErr(a.inner, xs)
+	off := 0
+	for _, w := range batch {
+		if err != nil {
+			w.err = err
+		} else {
+			w.out = ys[off : off+len(w.xs)]
+		}
+		off += len(w.xs)
+		close(w.done)
+	}
+}
+
+// predictAllErr is plm.PredictAll with the batch error surfaced instead of
+// swallowed, so PredictBatch callers see the failure directly. Callers that
+// reach the aggregator through plm.PredictAll still get that helper's
+// per-probe fallback (each probe re-submitted individually, failures
+// degrading to uniform with a sticky record) — the Client convention: check
+// Err when the interpretation run finishes.
+func predictAllErr(m plm.Model, xs []mat.Vec) ([]mat.Vec, error) {
+	if bp, ok := m.(plm.BatchPredictor); ok {
+		out, err := bp.PredictBatch(xs)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out := make([]mat.Vec, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out, nil
+}
+
+// DialAggregated dials a served model and wraps the client in an
+// aggregator: the one-call path for pointing a pool of interpreters at a
+// remote API. Close the aggregator when the jobs finish; the client is also
+// returned for error inspection (Client.Err).
+func DialAggregated(baseURL string, httpc *http.Client, retries int, cfg AggregatorConfig) (*Aggregator, *Client, error) {
+	client, err := Dial(baseURL, httpc, retries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewAggregator(client, cfg), client, nil
+}
+
+var _ plm.Model = (*Aggregator)(nil)
+var _ plm.BatchPredictor = (*Aggregator)(nil)

@@ -1,0 +1,293 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// echoBatcher answers probes with a deterministic function of the input and
+// records how many batch round trips it served — the test double for a
+// remote batch endpoint.
+type echoBatcher struct {
+	mu      sync.Mutex
+	trips   int
+	sizes   []int
+	failAll bool
+}
+
+func (e *echoBatcher) answer(x mat.Vec) mat.Vec { return mat.Vec{x[0], 2 * x[0]} }
+
+func (e *echoBatcher) Predict(x mat.Vec) mat.Vec { return e.answer(x) }
+func (e *echoBatcher) Dim() int                  { return 1 }
+func (e *echoBatcher) Classes() int              { return 2 }
+
+func (e *echoBatcher) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	e.mu.Lock()
+	e.trips++
+	e.sizes = append(e.sizes, len(xs))
+	fail := e.failAll
+	e.mu.Unlock()
+	if fail {
+		return nil, errors.New("echo: injected batch failure")
+	}
+	out := make([]mat.Vec, len(xs))
+	for i, x := range xs {
+		out[i] = e.answer(x)
+	}
+	return out, nil
+}
+
+func (e *echoBatcher) roundTrips() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.trips
+}
+
+func TestAggregatorFlushBySize(t *testing.T) {
+	inner := &echoBatcher{}
+	// Window far beyond the test deadline: only the size trigger can fire.
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 4, Window: time.Minute})
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	out := make([]mat.Vec, 4)
+	start := time.Now()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out[g] = a.Predict(mat.Vec{float64(g)})
+		}(g)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("size trigger did not fire, waited %v", elapsed)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for g, p := range out {
+		if want := (mat.Vec{float64(g), 2 * float64(g)}); !p.EqualApprox(want, 0) {
+			t.Fatalf("caller %d got %v, want %v", g, p, want)
+		}
+	}
+	if inner.roundTrips() != 1 {
+		t.Fatalf("4 probes at MaxBatch 4 took %d round trips, want 1", inner.roundTrips())
+	}
+	if a.Flushes() != 1 || a.Probes() != 4 {
+		t.Fatalf("stats = %d flushes / %d probes", a.Flushes(), a.Probes())
+	}
+}
+
+func TestAggregatorFlushByWindow(t *testing.T) {
+	inner := &echoBatcher{}
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 1 << 20, Window: 5 * time.Millisecond})
+	defer a.Close()
+
+	start := time.Now()
+	p := a.Predict(mat.Vec{3})
+	elapsed := time.Since(start)
+	if !p.EqualApprox(mat.Vec{3, 6}, 0) {
+		t.Fatalf("got %v", p)
+	}
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("window flush fired after only %v", elapsed)
+	}
+	if inner.roundTrips() != 1 {
+		t.Fatalf("round trips = %d", inner.roundTrips())
+	}
+}
+
+func TestAggregatorOversizedBatchFlushesImmediately(t *testing.T) {
+	inner := &echoBatcher{}
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 2, Window: time.Minute})
+	defer a.Close()
+	xs := []mat.Vec{{1}, {2}, {3}, {4}, {5}}
+	out, err := a.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if !out[i].EqualApprox(mat.Vec{x[0], 2 * x[0]}, 0) {
+			t.Fatalf("item %d got %v", i, out[i])
+		}
+	}
+	if inner.roundTrips() != 1 {
+		t.Fatalf("oversized batch split into %d trips", inner.roundTrips())
+	}
+}
+
+func TestAggregatorConcurrentDemux(t *testing.T) {
+	// Many callers with interleaved batches: every caller must get exactly
+	// its own answers, in its own submission order, whatever the flush
+	// grouping was. Run with -race.
+	inner := &echoBatcher{}
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 32, Window: time.Millisecond})
+	defer a.Close()
+
+	const callers, perCaller = 16, 9
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([]mat.Vec, perCaller)
+			for i := range xs {
+				xs[i] = mat.Vec{float64(g*perCaller + i)}
+			}
+			out, err := a.PredictBatch(xs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, x := range xs {
+				if want := (mat.Vec{x[0], 2 * x[0]}); !out[i].EqualApprox(want, 0) {
+					errs <- fmt.Errorf("caller %d item %d: got %v want %v", g, i, out[i], want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if a.Probes() != callers*perCaller {
+		t.Fatalf("probes = %d, want %d", a.Probes(), callers*perCaller)
+	}
+}
+
+func TestAggregatorCoalescesAcrossCallers(t *testing.T) {
+	// Deterministic coalescing: four callers of five probes each, with the
+	// size trigger at exactly their sum and an unreachable window. The
+	// first three callers must block until the fourth tips the flush, so
+	// all twenty probes share one round trip.
+	inner := &echoBatcher{}
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 20, Window: time.Minute})
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([]mat.Vec, 5)
+			for i := range xs {
+				xs[i] = mat.Vec{float64(10*g + i)}
+			}
+			out, err := a.PredictBatch(xs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, x := range xs {
+				if !out[i].EqualApprox(mat.Vec{x[0], 2 * x[0]}, 0) {
+					errs <- fmt.Errorf("caller %d item %d: got %v", g, i, out[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if inner.roundTrips() != 1 {
+		t.Fatalf("4 callers x 5 probes at MaxBatch 20 took %d round trips, want 1", inner.roundTrips())
+	}
+}
+
+func TestAggregatorPropagatesBatchErrors(t *testing.T) {
+	inner := &echoBatcher{failAll: true}
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 2, Window: time.Minute})
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var batchErr error
+	go func() {
+		defer wg.Done()
+		_, batchErr = a.PredictBatch([]mat.Vec{{1}})
+	}()
+	p := a.Predict(mat.Vec{2}) // second probe trips the size flush
+	wg.Wait()
+	if batchErr == nil {
+		t.Fatal("PredictBatch swallowed the batch failure")
+	}
+	// The Model-interface path degrades to uniform and records stickily.
+	if !p.EqualApprox(mat.Vec{0.5, 0.5}, 0) {
+		t.Fatalf("failed Predict returned %v, want uniform", p)
+	}
+	if a.Err() == nil {
+		t.Fatal("sticky error not recorded")
+	}
+	a.ResetErr()
+	if a.Err() != nil {
+		t.Fatal("ResetErr failed")
+	}
+}
+
+func TestAggregatorCloseFlushesAndPassesThrough(t *testing.T) {
+	inner := &echoBatcher{}
+	a := NewAggregator(inner, AggregatorConfig{MaxBatch: 1 << 20, Window: time.Minute})
+
+	done := make(chan mat.Vec, 1)
+	go func() { done <- a.Predict(mat.Vec{7}) }()
+	// Wait for the probe to be pending, then close: the probe must be
+	// answered by the closing flush, not abandoned.
+	for {
+		if a.mu.Lock(); a.count > 0 {
+			a.mu.Unlock()
+			break
+		}
+		a.mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+	}
+	a.Close()
+	select {
+	case p := <-done:
+		if !p.EqualApprox(mat.Vec{7, 14}, 0) {
+			t.Fatalf("pending probe got %v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close abandoned a pending probe")
+	}
+	// After Close the aggregator is a transparent pass-through.
+	if p := a.Predict(mat.Vec{9}); !p.EqualApprox(mat.Vec{9, 18}, 0) {
+		t.Fatalf("post-Close Predict got %v", p)
+	}
+	a.Close() // idempotent
+}
+
+func TestAggregatorFallsBackWithoutBatchEndpoint(t *testing.T) {
+	// A model with no PredictBatch still works: the flush degrades to
+	// per-probe forwarding.
+	m := testModel(60)
+	a := NewAggregator(plainModel{m}, AggregatorConfig{MaxBatch: 2, Window: time.Minute})
+	defer a.Close()
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	out, err := a.PredictBatch([]mat.Vec{x, x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].EqualApprox(m.Predict(x), 0) || !out[1].EqualApprox(m.Predict(x), 0) {
+		t.Fatal("fallback answers differ from the model")
+	}
+}
+
+// plainModel hides a model's batch endpoint.
+type plainModel struct{ inner plm.Model }
+
+func (p plainModel) Predict(x mat.Vec) mat.Vec { return p.inner.Predict(x) }
+func (p plainModel) Dim() int                  { return p.inner.Dim() }
+func (p plainModel) Classes() int              { return p.inner.Classes() }

@@ -65,19 +65,38 @@ func (c *Counter) Reset() { c.n.Store(0) }
 // Cache wraps a model with a memoizing layer keyed by the exact bit pattern
 // of the input vector. Useful when an interpreter probes the same instance
 // repeatedly (LIME does); harmless otherwise.
+//
+// A bounded cache evicts its oldest entry (FIFO) to admit a new one, so
+// recent probes stay warm however long the run is. Concurrent misses for
+// the same key are coalesced into a single model query: the first caller
+// probes, the rest wait and share the answer.
 type Cache struct {
-	inner  plm.Model
-	mu     sync.Mutex
-	data   map[string]mat.Vec
-	hits   atomic.Int64
-	misses atomic.Int64
-	max    int
+	inner     plm.Model
+	mu        sync.Mutex
+	data      map[string]mat.Vec
+	order     []string              // insertion order, oldest first, for FIFO eviction
+	inflight  map[string]*cacheCall // misses currently being answered
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	max       int
+}
+
+// cacheCall is one in-flight miss; waiters block on done and read p.
+type cacheCall struct {
+	done chan struct{}
+	p    mat.Vec
 }
 
 // NewCache wraps inner with a cache holding at most maxEntries responses
 // (0 means unbounded).
 func NewCache(inner plm.Model, maxEntries int) *Cache {
-	return &Cache{inner: inner, data: make(map[string]mat.Vec), max: maxEntries}
+	return &Cache{
+		inner:    inner,
+		data:     make(map[string]mat.Vec),
+		inflight: make(map[string]*cacheCall),
+		max:      maxEntries,
+	}
 }
 
 func cacheKey(x mat.Vec) string {
@@ -93,6 +112,8 @@ func cacheKey(x mat.Vec) string {
 }
 
 // Predict returns the cached response when available, otherwise forwards.
+// When another goroutine is already probing the same key, the call waits
+// for that answer instead of issuing (and counting) a duplicate miss.
 func (c *Cache) Predict(x mat.Vec) mat.Vec {
 	key := cacheKey(x)
 	c.mu.Lock()
@@ -101,15 +122,44 @@ func (c *Cache) Predict(x mat.Vec) mat.Vec {
 		c.hits.Add(1)
 		return p.Clone()
 	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		c.hits.Add(1)
+		return call.p.Clone()
+	}
+	call := &cacheCall{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
+
 	c.misses.Add(1)
 	p := c.inner.Predict(x)
+	call.p = p.Clone()
 	c.mu.Lock()
-	if c.max == 0 || len(c.data) < c.max {
-		c.data[key] = p.Clone()
-	}
+	delete(c.inflight, key)
+	c.store(key, p.Clone())
 	c.mu.Unlock()
+	close(call.done)
 	return p
+}
+
+// store inserts under mu, evicting the oldest entry when the cache is full.
+// The order queue exists only for bounded caches; unbounded ones never
+// evict, so tracking insertion order there would just leak memory.
+func (c *Cache) store(key string, p mat.Vec) {
+	if _, ok := c.data[key]; ok {
+		return
+	}
+	if c.max > 0 {
+		if len(c.data) >= c.max {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.data, oldest)
+			c.evictions.Add(1)
+		}
+		c.order = append(c.order, key)
+	}
+	c.data[key] = p
 }
 
 // Dim forwards to the wrapped model.
@@ -118,8 +168,12 @@ func (c *Cache) Dim() int { return c.inner.Dim() }
 // Classes forwards to the wrapped model.
 func (c *Cache) Classes() int { return c.inner.Classes() }
 
-// Stats returns the cache hit and miss counts.
+// Stats returns the cache hit and miss counts. A call served by another
+// goroutine's in-flight miss counts as a hit: it cost no model query.
 func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Load() }
+
+// Evictions returns how many entries a bounded cache has displaced.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
 // Flaky wraps a model and corrupts a fraction of responses — the fault
 // injector for robustness tests. A corrupted response is the uniform
@@ -133,13 +187,17 @@ type Flaky struct {
 }
 
 // NewFlaky wraps inner; each Predict independently fails with probability
-// rate (clamped to [0,1]).
+// rate (clamped to [0,1]). A nil rng defaults to a deterministically seeded
+// source, mirroring core.Config.setDefaults.
 func NewFlaky(inner plm.Model, rate float64, rng *rand.Rand) *Flaky {
 	if rate < 0 {
 		rate = 0
 	}
 	if rate > 1 {
 		rate = 1
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
 	}
 	return &Flaky{inner: inner, rate: rate, rng: rng}
 }

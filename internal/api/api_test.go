@@ -5,10 +5,12 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/openbox"
+	"repro/internal/plm"
 )
 
 func testModel(seed int64) *openbox.PLNN {
@@ -89,16 +91,98 @@ func TestCacheReturnsClones(t *testing.T) {
 	}
 }
 
-func TestCacheBounded(t *testing.T) {
+func TestCacheBoundedEvictsOldest(t *testing.T) {
 	counter := NewCounter(testModel(5))
 	cache := NewCache(counter, 1)
-	cache.Predict(mat.Vec{1, 0, 0, 0})
-	cache.Predict(mat.Vec{0, 1, 0, 0}) // not stored: cache full
-	cache.Predict(mat.Vec{0, 1, 0, 0}) // must hit the model again
+	a, b := mat.Vec{1, 0, 0, 0}, mat.Vec{0, 1, 0, 0}
+	cache.Predict(a) // miss, stored
+	cache.Predict(b) // miss, evicts a, stored
+	cache.Predict(b) // hit: a full cache still admits new entries
+	if counter.Count() != 2 {
+		t.Fatalf("bounded cache: model called %d times, want 2", counter.Count())
+	}
+	if cache.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", cache.Evictions())
+	}
+	cache.Predict(a) // evicted earlier, so this is a fresh miss
 	if counter.Count() != 3 {
-		t.Fatalf("bounded cache: model called %d times, want 3", counter.Count())
+		t.Fatalf("evicted entry still served: model called %d times, want 3", counter.Count())
 	}
 }
+
+func TestCacheFIFOOrder(t *testing.T) {
+	counter := NewCounter(testModel(5))
+	cache := NewCache(counter, 2)
+	a, b, c := mat.Vec{1, 0, 0, 0}, mat.Vec{0, 1, 0, 0}, mat.Vec{0, 0, 1, 0}
+	cache.Predict(a)
+	cache.Predict(b)
+	cache.Predict(c) // evicts a (oldest), keeps b
+	cache.Predict(b) // must still be cached
+	if counter.Count() != 3 {
+		t.Fatalf("FIFO evicted the wrong entry: model called %d times, want 3", counter.Count())
+	}
+	cache.Predict(a) // miss again
+	if counter.Count() != 4 {
+		t.Fatalf("model called %d times, want 4", counter.Count())
+	}
+}
+
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	// Many goroutines miss on the same key at once: exactly one model query
+	// and one recorded miss; everyone else shares the in-flight answer.
+	slow := &slowModel{inner: testModel(5), gate: make(chan struct{})}
+	counter := NewCounter(slow)
+	cache := NewCache(counter, 0)
+	x := mat.Vec{0.3, 0.3, 0.3, 0.3}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	out := make([]mat.Vec, waiters)
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out[g] = cache.Predict(x)
+		}(g)
+	}
+	// Wait until at least one goroutine reached the model, then let every
+	// submission settle before releasing the probe.
+	for counter.Count() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(slow.gate)
+	wg.Wait()
+
+	if counter.Count() != 1 {
+		t.Fatalf("concurrent misses reached the model %d times, want 1", counter.Count())
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 {
+		t.Fatalf("double-counted misses: %d, want 1", misses)
+	}
+	if hits != waiters-1 {
+		t.Fatalf("hits = %d, want %d", hits, waiters-1)
+	}
+	for g := 1; g < waiters; g++ {
+		if !out[g].EqualApprox(out[0], 0) {
+			t.Fatalf("waiter %d got a different answer", g)
+		}
+	}
+}
+
+// slowModel blocks Predict until its gate opens, so tests can hold several
+// goroutines inside a cache miss at once.
+type slowModel struct {
+	inner plm.Model
+	gate  chan struct{}
+}
+
+func (s *slowModel) Predict(x mat.Vec) mat.Vec {
+	<-s.gate
+	return s.inner.Predict(x)
+}
+func (s *slowModel) Dim() int     { return s.inner.Dim() }
+func (s *slowModel) Classes() int { return s.inner.Classes() }
 
 func TestFlakyInjectsFailures(t *testing.T) {
 	m := testModel(6)
@@ -120,6 +204,27 @@ func TestFlakyInjectsFailures(t *testing.T) {
 	clamped := NewFlaky(m, 7, rand.New(rand.NewSource(9)))
 	if clamped.rate != 1 {
 		t.Fatalf("rate not clamped: %v", clamped.rate)
+	}
+}
+
+func TestFlakyNilRNGDefaults(t *testing.T) {
+	// A nil RNG must not panic: it defaults to a seeded source, like
+	// core.Config.setDefaults does.
+	m := testModel(6)
+	f := NewFlaky(m, 0.5, nil)
+	for i := 0; i < 10; i++ {
+		if got := f.Predict(mat.Vec{0, 0, 0, 0}); len(got) != 3 {
+			t.Fatalf("prediction has %d entries", len(got))
+		}
+	}
+	// Seeded default means two nil-RNG wrappers fail identically.
+	f1, g1 := NewFlaky(m, 0.5, nil), NewFlaky(m, 0.5, nil)
+	for i := 0; i < 50; i++ {
+		f1.Predict(mat.Vec{0, 0, 0, 0})
+		g1.Predict(mat.Vec{0, 0, 0, 0})
+	}
+	if f1.Failures() != g1.Failures() {
+		t.Fatalf("nil-RNG default not deterministic: %d vs %d failures", f1.Failures(), g1.Failures())
 	}
 }
 

@@ -48,7 +48,8 @@ type batchResponse struct {
 }
 
 type statsResponse struct {
-	Queries int64 `json:"queries"`
+	Queries    int64 `json:"queries"`
+	RoundTrips int64 `json:"round_trips"`
 }
 
 // Server exposes a plm.Model over HTTP. It implements http.Handler.
@@ -57,6 +58,10 @@ type Server struct {
 	name    string
 	mux     *http.ServeMux
 	queries atomic.Int64
+	// requests counts prediction round trips: one per served /predict or
+	// /batch call, however many probes the batch carried. The ratio
+	// queries/requests is the server-side view of how well clients batch.
+	requests atomic.Int64
 	// Latency, when positive, is added to every prediction request to
 	// simulate a slow remote.
 	Latency time.Duration
@@ -79,12 +84,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // count individually).
 func (s *Server) Queries() int64 { return s.queries.Load() }
 
+// Requests returns the number of prediction round trips served — the
+// denominator of the batching win a query aggregator buys.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, metaResponse{Name: s.name, Dim: s.model.Dim(), Classes: s.model.Classes()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{Queries: s.queries.Load()})
+	writeJSON(w, http.StatusOK, statsResponse{
+		Queries:    s.queries.Load(),
+		RoundTrips: s.requests.Load(),
+	})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +112,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
 	}
+	s.requests.Add(1)
 	s.queries.Add(1)
 	probs := s.model.Predict(mat.Vec(req.X))
 	writeJSON(w, http.StatusOK, predictResponse{Probs: probs})
@@ -111,15 +124,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if s.Latency > 0 {
-		time.Sleep(s.Latency)
-	}
-	out := batchResponse{Probs: make([][]float64, len(req.Xs))}
+	// Validate everything before counting: a rejected request must not
+	// skew the queries/round_trips ratio the stats report.
 	for i, x := range req.Xs {
 		if len(x) != s.model.Dim() {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("batch item %d length %d != %d", i, len(x), s.model.Dim()))
 			return
 		}
+	}
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	s.requests.Add(1)
+	out := batchResponse{Probs: make([][]float64, len(req.Xs))}
+	for i, x := range req.Xs {
 		s.queries.Add(1)
 		out.Probs[i] = s.model.Predict(mat.Vec(x))
 	}

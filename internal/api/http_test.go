@@ -1,6 +1,7 @@
 package api
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -83,6 +84,72 @@ func TestRemoteBatch(t *testing.T) {
 	if srv.Queries() != 3 {
 		t.Fatalf("batch should count per item, got %d", srv.Queries())
 	}
+	if srv.Requests() != 1 {
+		t.Fatalf("one batch is one round trip, got %d", srv.Requests())
+	}
+}
+
+func TestServerCountsRoundTrips(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{0, 0, 0, 0}
+	c.Predict(x)                                                     // 1 trip, 1 query
+	if _, err := c.PredictBatch([]mat.Vec{x, x, x, x}); err != nil { // 1 trip, 4 queries
+		t.Fatal(err)
+	}
+	if srv.Requests() != 2 || srv.Queries() != 5 {
+		t.Fatalf("server saw %d trips / %d queries, want 2 / 5", srv.Requests(), srv.Queries())
+	}
+	// Aggregating two callers' probes halves the trips a naive client pays.
+	agg := NewAggregator(c, AggregatorConfig{MaxBatch: 2, Window: time.Minute})
+	defer agg.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			agg.Predict(x)
+		}()
+	}
+	wg.Wait()
+	if srv.Requests() != 3 {
+		t.Fatalf("aggregated pair should add one trip, server saw %d", srv.Requests())
+	}
+}
+
+func TestDialAggregated(t *testing.T) {
+	srv, ts := newTestServer(t)
+	agg, client, err := DialAggregated(ts.URL, nil, 0, AggregatorConfig{MaxBatch: 3, Window: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	if agg.Dim() != 4 || agg.Classes() != 3 {
+		t.Fatalf("meta not forwarded: %d/%d", agg.Dim(), agg.Classes())
+	}
+	local := testModel(100)
+	x := mat.Vec{0.2, 0.1, 0, 0.4}
+	out, err := agg.PredictBatch([]mat.Vec{x, x, x}) // exactly MaxBatch: one trip
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if !out[i].EqualApprox(local.Predict(x), 1e-12) {
+			t.Fatalf("item %d differs from local model", i)
+		}
+	}
+	if srv.Requests() != 1 {
+		t.Fatalf("server saw %d round trips, want 1", srv.Requests())
+	}
+	if client.Err() != nil {
+		t.Fatal(client.Err())
+	}
+	if _, _, err := DialAggregated("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond}, 0, AggregatorConfig{}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
 }
 
 func TestServerRejectsBadInput(t *testing.T) {
@@ -152,6 +219,13 @@ func TestStatsEndpoint(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats -> %s", resp.Status)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 1 || stats.RoundTrips != 1 {
+		t.Fatalf("stats = %+v, want 1 query over 1 round trip", stats)
 	}
 }
 

@@ -140,20 +140,55 @@ func (o *OpenAPI) Name() string { return "OpenAPI" }
 // class c, using only Predict calls.
 func (o *OpenAPI) Interpret(model plm.Model, x0 mat.Vec, c int) (*plm.Interpretation, error) {
 	o.cfg.setDefaults()
+	if err := checkInstance(model, x0, c); err != nil {
+		return nil, err
+	}
+	// The anchor probe goes through the batch path so it coalesces with
+	// concurrent callers when the model aggregates queries (api.Aggregator);
+	// against a plain model this is the same single Predict as before.
+	y0 := plm.PredictAll(model, []mat.Vec{x0})[0]
+	return o.interpret(model, x0, y0, c)
+}
+
+// InterpretWithPrediction is Interpret for callers that already hold the
+// model's prediction at x0 — a pool that pre-queried the argmax of many
+// instances in one batched round trip hands each worker its y0 here, so the
+// anchor probe is never re-issued. The supplied prediction still counts as
+// one query in the returned Interpretation, keeping the accounting identical
+// to Interpret.
+func (o *OpenAPI) InterpretWithPrediction(model plm.Model, x0, y0 mat.Vec, c int) (*plm.Interpretation, error) {
+	o.cfg.setDefaults()
+	if err := checkInstance(model, x0, c); err != nil {
+		return nil, err
+	}
+	if len(y0) != model.Classes() {
+		return nil, fmt.Errorf("core: prediction length %d != model classes %d", len(y0), model.Classes())
+	}
+	return o.interpret(model, x0, y0, c)
+}
+
+func checkInstance(model plm.Model, x0 mat.Vec, c int) error {
 	d := model.Dim()
 	C := model.Classes()
 	if len(x0) != d {
-		return nil, fmt.Errorf("core: instance length %d != model dim %d", len(x0), d)
+		return fmt.Errorf("core: instance length %d != model dim %d", len(x0), d)
 	}
 	if c < 0 || c >= C {
-		return nil, fmt.Errorf("core: class %d out of range [0,%d)", c, C)
+		return fmt.Errorf("core: class %d out of range [0,%d)", c, C)
 	}
 	if C < 2 {
-		return nil, fmt.Errorf("core: model has %d classes, need at least 2", C)
+		return fmt.Errorf("core: model has %d classes, need at least 2", C)
 	}
+	return nil
+}
 
-	y0 := model.Predict(x0)
-	queries := 1
+// interpret runs Algorithm 1 from a known anchor prediction y0. Each
+// iteration issues its d+k sample-set probes as one batch (plm.PredictAll),
+// so a batch-capable or aggregated model sees one round trip per iteration.
+func (o *OpenAPI) interpret(model plm.Model, x0, y0 mat.Vec, c int) (*plm.Interpretation, error) {
+	d := model.Dim()
+	C := model.Classes()
+	queries := 1 // the anchor probe, issued here or by the caller
 	r := o.cfg.InitialEdge
 
 	for iter := 1; iter <= o.cfg.MaxIterations; iter++ {

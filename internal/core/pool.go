@@ -11,7 +11,11 @@ import (
 // Pool interprets many instances concurrently. A single OpenAPI value is
 // not safe for concurrent use (it owns one RNG stream), so the pool keeps
 // one interpreter per worker, seeded deterministically from the base
-// configuration: results are reproducible for a fixed worker count.
+// configuration. Jobs are assigned by static striping — worker i handles
+// instances i, i+n, i+2n, ... — so each instance is always interpreted by
+// the same worker with the same RNG stream position: results are
+// bit-reproducible for a fixed worker count, independent of goroutine
+// scheduling and of how the model batches queries.
 type Pool struct {
 	workers []*OpenAPI
 }
@@ -46,25 +50,37 @@ type Result struct {
 // InterpretMany explains model's prediction on every instance for its
 // predicted class, fanning the work across the pool. The returned slice is
 // ordered like xs; failed instances carry their error.
+//
+// The argmax pre-query for all instances is issued as one batch up front —
+// a single round trip against a batch-capable service — and each prediction
+// doubles as the anchor probe of its interpretation, so no instance is
+// predicted twice. While one worker solves its linear systems, the others'
+// sample-set probes are in flight; wrap the model in an api.Aggregator to
+// coalesce those concurrent probes into shared round trips.
+//
+// Remote models degrade transport failures to uniform responses and record
+// them stickily rather than erroring per probe, so a Result can be clean
+// while the wire was not: after a run against an api.Client or
+// api.Aggregator, check its Err before trusting the interpretations.
 func (p *Pool) InterpretMany(model plm.Model, xs []mat.Vec) []Result {
 	results := make([]Result, len(xs))
-	jobs := make(chan int)
+	if len(xs) == 0 {
+		return results
+	}
+	y0s := plm.PredictAll(model, xs)
+	n := len(p.workers)
 	var wg sync.WaitGroup
-	for w := range p.workers {
+	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func(o *OpenAPI) {
+		go func(w int, o *OpenAPI) {
 			defer wg.Done()
-			for i := range jobs {
-				c := model.Predict(xs[i]).ArgMax()
-				interp, err := o.Interpret(model, xs[i], c)
+			for i := w; i < len(xs); i += n {
+				c := y0s[i].ArgMax()
+				interp, err := o.InterpretWithPrediction(model, xs[i], y0s[i], c)
 				results[i] = Result{Index: i, Interp: interp, Err: err}
 			}
-		}(p.workers[w])
+		}(w, p.workers[w])
 	}
-	for i := range xs {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	return results
 }

@@ -2,10 +2,13 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/mat"
+	"repro/internal/plm"
 )
 
 func TestPoolInterpretsAllInstances(t *testing.T) {
@@ -67,11 +70,70 @@ func TestPoolConcurrentModelAccessIsCounted(t *testing.T) {
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
+		// Queries includes the anchor probe, which InterpretMany issued in
+		// its batched argmax pre-query — so the reported sums match the
+		// counter exactly, with no separate per-instance Predict.
 		want += int64(r.Interp.Queries)
 	}
-	want += int64(len(xs)) // the per-instance argmax Predict in InterpretMany
 	if counter.Count() != want {
 		t.Fatalf("counter %d != sum of reported queries %d", counter.Count(), want)
+	}
+}
+
+// interpEqual reports whether two interpretations are bit-identical in
+// every recovered quantity and every piece of bookkeeping.
+func interpEqual(a, b *plm.Interpretation) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+func TestPoolDeterministicAcrossRuns(t *testing.T) {
+	// Static striping pins every instance to one worker's RNG stream, so
+	// two pools with the same seed and size must agree bit for bit however
+	// the goroutines were scheduled.
+	model := plnnModel(90, 6, 8, 3)
+	rng := rand.New(rand.NewSource(91))
+	xs := make([]mat.Vec, 11)
+	for i := range xs {
+		xs[i] = randVec(rng, 6)
+	}
+	first := NewPool(Config{Seed: 92}, 4).InterpretMany(model, xs)
+	second := NewPool(Config{Seed: 92}, 4).InterpretMany(model, xs)
+	for i := range first {
+		if first[i].Err != nil || second[i].Err != nil {
+			t.Fatalf("instance %d failed: %v / %v", i, first[i].Err, second[i].Err)
+		}
+		if !interpEqual(first[i].Interp, second[i].Interp) {
+			t.Fatalf("instance %d differs across identically seeded runs", i)
+		}
+	}
+}
+
+func TestPoolAggregationPreservesResults(t *testing.T) {
+	// The determinism regression the batching work must not break: for a
+	// fixed worker count, interpretations through an aggregator are
+	// bit-identical to interpretations against the bare model.
+	model := plnnModel(93, 6, 8, 3)
+	rng := rand.New(rand.NewSource(94))
+	xs := make([]mat.Vec, 10)
+	for i := range xs {
+		xs[i] = randVec(rng, 6)
+	}
+	plain := NewPool(Config{Seed: 95}, 4).InterpretMany(model, xs)
+
+	agg := api.NewAggregator(model, api.AggregatorConfig{Window: time.Millisecond})
+	defer agg.Close()
+	batched := NewPool(Config{Seed: 95}, 4).InterpretMany(agg, xs)
+
+	for i := range plain {
+		if plain[i].Err != nil || batched[i].Err != nil {
+			t.Fatalf("instance %d failed: %v / %v", i, plain[i].Err, batched[i].Err)
+		}
+		if !interpEqual(plain[i].Interp, batched[i].Interp) {
+			t.Fatalf("instance %d: aggregated result differs from plain", i)
+		}
+	}
+	if agg.Probes() == 0 {
+		t.Fatal("aggregator was bypassed")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -149,6 +150,19 @@ func DialModel(baseURL string) (*api.Client, error) {
 // CountQueries wraps a model with a query counter for measuring probing
 // cost.
 func CountQueries(model Model) *api.Counter { return api.NewCounter(model) }
+
+// NewPool returns a pool of worker interpreters for concurrent
+// InterpretMany runs; results are bit-reproducible for a fixed worker
+// count. See core.Pool.
+func NewPool(cfg OpenAPIConfig, workers int) *core.Pool { return core.NewPool(cfg, workers) }
+
+// AggregateQueries wraps a model so that probe batches from concurrent
+// interpretation jobs coalesce into shared round trips — point a NewPool
+// at the returned aggregator and close it when the jobs finish. maxBatch
+// and window zero-default to the aggregator's settings.
+func AggregateQueries(model Model, maxBatch int, window time.Duration) *api.Aggregator {
+	return api.NewAggregator(model, api.AggregatorConfig{MaxBatch: maxBatch, Window: window})
+}
 
 // WrapBinaryScore adapts a single-probability API (P(positive | x), the
 // most common real-world binary-classifier surface) into a two-class Model,
