@@ -407,6 +407,92 @@ func benchPoolOverHTTP(b *testing.B, aggregate bool) {
 func BenchmarkOpenAPI_OverHTTP_Pool(b *testing.B)           { benchPoolOverHTTP(b, false) }
 func BenchmarkOpenAPI_OverHTTP_AggregatedPool(b *testing.B) { benchPoolOverHTTP(b, true) }
 
+// --- Adaptive flush window against a slow remote --------------------------------
+
+// benchLatentRemotePool interprets a 16-instance batch with a pool of 8
+// against a server with injected latency — the regime the adaptive window
+// exists for. A fixed window has to be guessed per deployment: here the
+// wire's real round trip is ~1ms, so the fixed 2ms default overshoots and
+// every flush wave pays the full 2ms wait anyway. The adaptive window
+// measures the RTT and settles at a fraction of it, flushing each wave as
+// soon as its probes have realistically arrived — same round trips, less
+// wall-clock per wave (and against a genuinely slow remote it grows toward
+// MaxWindow instead, bounding straggler round trips without retuning).
+func benchLatentRemotePool(b *testing.B, cfg api.AggregatorConfig) {
+	model := benchPLNNModel(37, 16)
+	srv := api.NewServer(model, "bench-latent-remote")
+	srv.Latency = 750 * time.Microsecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := api.Dial(ts.URL, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(38))
+	xs := make([]mat.Vec, 16)
+	for i := range xs {
+		xs[i] = randVecBench(rng, 16)
+	}
+	pool := core.NewPool(core.Config{Seed: 39}, 8)
+	b.ResetTimer()
+	var window time.Duration
+	for i := 0; i < b.N; i++ {
+		agg := api.NewAggregator(client, cfg)
+		for _, r := range pool.InterpretMany(agg, xs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		agg.Close()
+		window = agg.CurrentWindow()
+	}
+	b.StopTimer()
+	if err := client.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(srv.Requests())/float64(b.N), "round-trips/op")
+	b.ReportMetric(float64(window)/float64(time.Millisecond), "window-ms")
+}
+
+func BenchmarkOpenAPI_LatentRemote_FixedWindowPool(b *testing.B) {
+	benchLatentRemotePool(b, api.AggregatorConfig{Window: 2 * time.Millisecond})
+}
+
+func BenchmarkOpenAPI_LatentRemote_AdaptiveWindowPool(b *testing.B) {
+	benchLatentRemotePool(b, api.AggregatorConfig{Adaptive: true})
+}
+
+// --- Sharded replica serving -----------------------------------------------------
+
+// benchShardedBatch measures server-side evaluation of one wide batch — the
+// shape an aggregated pool ships — across replica counts. A single replica
+// answers the batch serially; the shard router fans it out, so the speedup
+// tracks the machine's core count (a single-core box shows parity).
+func benchShardedBatch(b *testing.B, replicas int) {
+	slots := make([]plm.Model, replicas)
+	for i := range slots {
+		slots[i] = benchPLNNModel(40, 64)
+	}
+	shard, err := api.NewShard(slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	xs := make([]mat.Vec, 256)
+	for i := range xs {
+		xs[i] = randVecBench(rng, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shard.PredictBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedBatch_Replicas1(b *testing.B) { benchShardedBatch(b, 1) }
+func BenchmarkShardedBatch_Replicas4(b *testing.B) { benchShardedBatch(b, 4) }
+
 // --- Baseline probing cost -----------------------------------------------------
 
 func BenchmarkBaseline_ZOO(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/heatmap"
@@ -51,7 +52,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		expList = flag.String("exp", "all", "comma list: table1,fig2,fig3,fig4,fig5,fig6,fig7,census,ablation,boundary or all")
+		expList = flag.String("exp", "all", "comma list: table1,fig2,fig3,fig4,fig5,fig6,fig7,census,ablation,boundary,remote or all")
 		scale   = flag.String("scale", "small", "small, medium or paper")
 		outDir  = flag.String("out", "results", "output directory")
 		seed    = flag.Int64("seed", 1, "master seed")
@@ -142,6 +143,11 @@ func main() {
 					log.Fatal(err)
 				}
 			}
+			if all || want["remote"] {
+				if err := runRemote(entry, ds, *outDir, xs, *seed); err != nil {
+					log.Fatal(err)
+				}
+			}
 		}
 	}
 	if all || want["table1"] {
@@ -188,6 +194,7 @@ func writeIndex(outDir, scale string, seed int64) error {
 	fmt.Fprintln(f, "| census_*.md | Region census (paper §II structure) |")
 	fmt.Fprintln(f, "| ablation_*.md | Solver ablation A1 (DESIGN.md) |")
 	fmt.Fprintln(f, "| boundary_*.csv | Boundary profile (paper Figure 1, quantified) |")
+	fmt.Fprintln(f, "| remote_*.md | Over-the-API quality + wire cost (sharded, adaptive window) |")
 	fmt.Fprintf(f, "\n%d files in this run:\n\n", len(entries))
 	for _, e := range entries {
 		if e.Name() == "INDEX.md" {
@@ -389,6 +396,32 @@ func runBoundary(entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, seed in
 			p.Distance, p.NaiveL1, p.OpenAPIL1, p.OpenAPIIters, p.OpenAPIFailed)
 	}
 	fmt.Printf("   boundary: wrote %s (%d points)\n", path, len(pts))
+	return nil
+}
+
+// runRemote reruns the quality computation with the model genuinely behind
+// HTTP — served across 4 shard replicas, probed through the adaptive
+// aggregator via DialAggregated — and reports what the run cost on the wire.
+func runRemote(entry eval.ModelEntry, ds, outDir string, xs []mat.Vec, seed int64) error {
+	methods := []plm.Interpreter{core.New(core.Config{Seed: seed + 50})}
+	rows, wire, err := eval.QualityOverAPI(entry.Model, strings.ToLower(entry.Name), methods, xs, 4,
+		api.AggregatorConfig{Adaptive: true})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("remote_%s_%s.md", ds, strings.ToLower(entry.Name)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Over-the-API quality: %s / %s (4 replicas, adaptive window)\n\n", ds, entry.Name)
+	fmt.Fprintf(f, "%d queries over %d round trips (%.1f queries/trip), final window %v, RTT estimate %v\n\n",
+		wire.Queries, wire.RoundTrips, wire.QueriesPerTrip(), wire.Window, wire.RTT)
+	if err := eval.WriteQuality(f, rows); err != nil {
+		return err
+	}
+	fmt.Printf("   remote: wrote %s (%.1f queries/trip)\n", path, wire.QueriesPerTrip())
 	return nil
 }
 

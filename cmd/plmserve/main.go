@@ -2,9 +2,14 @@
 // HTTP prediction API — the "cloud service" the paper interprets. Only
 // probabilities leave the process; parameters stay hidden.
 //
+// With -replicas N the model is loaded N times and served behind the
+// api.Shard router: each /batch request fans out across the replicas in
+// parallel and /stats reports the per-replica query breakdown.
+//
 // Usage:
 //
 //	plmserve -model plnn.json -type plnn -addr :8080
+//	plmserve -model plnn.json -type plnn -replicas 4
 //	plmserve -model lmt.json -type lmt -addr 127.0.0.1:9000 -latency 5ms
 package main
 
@@ -17,7 +22,27 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/modelio"
+	"repro/internal/plm"
 )
+
+// loadReplicas loads the model file n times — each replica owns its own
+// parameters — and wraps them in the shard router when n > 1, so a single
+// big coalesced batch from an aggregated client is evaluated across all
+// replicas in parallel instead of serially on one.
+func loadReplicas(path, kind string, n int) (plm.Model, error) {
+	if n <= 1 {
+		return modelio.Load(path, kind)
+	}
+	models := make([]plm.Model, n)
+	for i := range models {
+		m, err := modelio.Load(path, kind)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return api.NewShard(models)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -28,6 +53,7 @@ func main() {
 		modelType = flag.String("type", "plnn", fmt.Sprintf("model family: one of %v", modelio.Kinds()))
 		addr      = flag.String("addr", ":8080", "listen address")
 		name      = flag.String("name", "", "advertised model name (default: file path)")
+		replicas  = flag.Int("replicas", 1, "model replicas served behind the shard router")
 		latency   = flag.Duration("latency", 0, "artificial per-request latency")
 		logStats  = flag.Duration("log-stats", 0, "periodically log served queries and round trips (0: off)")
 	)
@@ -38,16 +64,19 @@ func main() {
 	if *name == "" {
 		*name = *modelPath
 	}
+	if *replicas < 1 {
+		log.Fatalf("-replicas %d: need at least 1", *replicas)
+	}
 
-	model, err := modelio.Load(*modelPath, *modelType)
+	model, err := loadReplicas(*modelPath, *modelType, *replicas)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	srv := api.NewServer(model, *name)
 	srv.Latency = *latency
-	fmt.Printf("serving %s (%d features, %d classes) on %s\n",
-		*name, model.Dim(), model.Classes(), *addr)
+	fmt.Printf("serving %s (%d features, %d classes, %d replica(s)) on %s\n",
+		*name, model.Dim(), model.Classes(), *replicas, *addr)
 	fmt.Println("endpoints: GET /meta, POST /predict, POST /batch, GET /stats")
 
 	if *logStats > 0 {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// TestLoadReplicasServesShardedStats exercises exactly what `plmserve
+// -replicas 4` wires together: N loaded copies behind the shard router,
+// served over HTTP, with bit-identical predictions to a single replica and
+// a per-replica breakdown under /stats.
+func TestLoadReplicasServesShardedStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.New(rng, 6, 8, 3)
+	path := filepath.Join(t.TempDir(), "plnn.json")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	single, err := loadReplicas(path, "plnn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := loadReplicas(path, "plnn", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sharded.(*api.Shard); !ok {
+		t.Fatalf("replicas=4 returned %T, want *api.Shard", sharded)
+	}
+
+	ts := httptest.NewServer(api.NewServer(sharded, "sharded"))
+	defer ts.Close()
+	client, err := api.Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]mat.Vec, 12)
+	for i := range xs {
+		xs[i] = make(mat.Vec, 6)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	got, err := client.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if want := single.Predict(x); !got[i].EqualApprox(want, 0) {
+			t.Fatalf("item %d: sharded %v != single-replica %v", i, got[i], want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Queries        int64   `json:"queries"`
+		ReplicaQueries []int64 `json:"replica_queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.ReplicaQueries) != 4 {
+		t.Fatalf("replica_queries = %v, want 4 entries", stats.ReplicaQueries)
+	}
+	var sum int64
+	for r, q := range stats.ReplicaQueries {
+		if q == 0 {
+			t.Fatalf("replica %d served no probes: %v", r, stats.ReplicaQueries)
+		}
+		sum += q
+	}
+	if sum != stats.Queries {
+		t.Fatalf("replica queries sum to %d, server counted %d", sum, stats.Queries)
+	}
+}
+
+func TestLoadReplicasBadInputs(t *testing.T) {
+	if _, err := loadReplicas(filepath.Join(t.TempDir(), "missing.json"), "plnn", 2); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+	rng := rand.New(rand.NewSource(2))
+	path := filepath.Join(t.TempDir(), "plnn.json")
+	if err := nn.New(rng, 4, 6, 2).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReplicas(path, "nope", 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

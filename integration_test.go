@@ -179,6 +179,70 @@ func TestIntegrationAggregatedPoolSavesRoundTrips(t *testing.T) {
 	}
 }
 
+func TestIntegrationShardedReplicasBitIdentical(t *testing.T) {
+	// The sharding acceptance gate: the exact serving stack of
+	// `plmserve -replicas N` (shard router behind api.Server) must hand a
+	// pooled, aggregated InterpretMany bit-identical interpretations at
+	// every replica count — the split is pure routing, never science.
+	rng := rand.New(rand.NewSource(48))
+	model := &openbox.PLNN{Net: nn.New(rng, 16, 32, 16, 4)}
+	xs := make([]Vec, 16)
+	for i := range xs {
+		xs[i] = make(Vec, 16)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+
+	run := func(replicas int) []core.Result {
+		slots := make([]Model, replicas)
+		for i := range slots {
+			slots[i] = model
+		}
+		shard, err := ShardModel(slots...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := api.NewServer(shard, "shard-gate")
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		agg, client, err := api.DialAggregated(ts.URL, nil, 0, api.AggregatorConfig{Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := core.NewPool(core.Config{Seed: 49}, 8).InterpretMany(agg, xs)
+		agg.Close()
+		if err := client.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("replicas=%d instance %d failed: %v", replicas, i, r.Err)
+			}
+		}
+		if replicas > 1 {
+			// The fan-out must actually engage: every replica slot serves
+			// part of the batched waves.
+			for slot, q := range shard.ReplicaQueries() {
+				if q == 0 {
+					t.Fatalf("replicas=%d: slot %d served nothing", replicas, slot)
+				}
+			}
+		}
+		return results
+	}
+
+	base := run(1)
+	for _, n := range []int{2, 4} {
+		got := run(n)
+		for i := range base {
+			if !reflect.DeepEqual(base[i].Interp, got[i].Interp) {
+				t.Fatalf("instance %d: %d-replica interpretation differs from 1-replica", i, n)
+			}
+		}
+	}
+}
+
 func TestIntegrationPoolOverHTTP(t *testing.T) {
 	// Concurrent interpretation against one HTTP server: the server must
 	// survive parallel load and every result must be exact.

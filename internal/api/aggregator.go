@@ -19,8 +19,24 @@ type AggregatorConfig struct {
 	// Window bounds how long the earliest pending probe waits before the
 	// queue is flushed regardless of size. It trades a little latency per
 	// probe for fewer round trips; keep it well below the service's own
-	// round-trip time budget. Default 2ms.
+	// round-trip time budget. Default 2ms. With Adaptive set it only seeds
+	// the window until the first flush has been timed.
 	Window time.Duration
+	// Adaptive replaces the fixed Window with one tracked from observation:
+	// the aggregator keeps an exponentially weighted moving average of each
+	// flush's round-trip time and sets the wait window to WindowFraction of
+	// it, clamped to [MinWindow, MaxWindow]. A local in-process model (RTT
+	// in microseconds) then flushes near-instantly, while a slow remote
+	// (RTT in tens of milliseconds) batches aggressively — no hand tuning
+	// per deployment. See DESIGN.md §7.
+	Adaptive bool
+	// WindowFraction is the fraction of the RTT estimate used as the wait
+	// window when Adaptive is set. Default 0.5.
+	WindowFraction float64
+	// MinWindow and MaxWindow bound the adaptive window. Defaults 50µs and
+	// 20ms.
+	MinWindow time.Duration
+	MaxWindow time.Duration
 }
 
 func (c *AggregatorConfig) setDefaults() {
@@ -29,6 +45,20 @@ func (c *AggregatorConfig) setDefaults() {
 	}
 	if c.Window <= 0 {
 		c.Window = 2 * time.Millisecond
+	}
+	if c.Adaptive {
+		if c.WindowFraction <= 0 {
+			c.WindowFraction = 0.5
+		}
+		if c.MinWindow <= 0 {
+			c.MinWindow = 50 * time.Microsecond
+		}
+		if c.MaxWindow <= 0 {
+			c.MaxWindow = 20 * time.Millisecond
+		}
+		if c.MinWindow > c.MaxWindow {
+			c.MinWindow = c.MaxWindow
+		}
 	}
 }
 
@@ -62,6 +92,15 @@ type Aggregator struct {
 	flushes atomic.Int64
 	probes  atomic.Int64
 
+	// window is the current wait window in nanoseconds. Fixed configs set
+	// it once; adaptive configs rewrite it after every timed flush.
+	window atomic.Int64
+	// rttEWMA tracks the smoothed flush round-trip time in nanoseconds
+	// (0 until the first flush completes). Guarded by rttMu, not mu: RTT
+	// updates happen during flushes, outside the queue lock.
+	rttMu   sync.Mutex
+	rttEWMA float64
+
 	errMu sync.Mutex
 	err   error
 }
@@ -81,7 +120,9 @@ type aggWaiter struct {
 // model individually.
 func NewAggregator(inner plm.Model, cfg AggregatorConfig) *Aggregator {
 	cfg.setDefaults()
-	return &Aggregator{inner: inner, cfg: cfg}
+	a := &Aggregator{inner: inner, cfg: cfg}
+	a.window.Store(int64(cfg.Window))
+	return a
 }
 
 // Dim forwards to the wrapped model.
@@ -91,11 +132,51 @@ func (a *Aggregator) Dim() int { return a.inner.Dim() }
 func (a *Aggregator) Classes() int { return a.inner.Classes() }
 
 // Flushes returns the number of batches shipped to the wrapped model so
-// far — the aggregator's round-trip count when the model is remote.
+// far — the aggregator's round-trip count when the model is remote. Probes
+// forwarded individually because the model offers no batch endpoint are
+// counted in Probes but never as flushes.
 func (a *Aggregator) Flushes() int64 { return a.flushes.Load() }
 
 // Probes returns the total number of probes served across all flushes.
 func (a *Aggregator) Probes() int64 { return a.probes.Load() }
+
+// CurrentWindow returns the wait window currently in force: the configured
+// Window for fixed setups, the latest RTT-derived value for adaptive ones.
+func (a *Aggregator) CurrentWindow() time.Duration {
+	return time.Duration(a.window.Load())
+}
+
+// RTT returns the smoothed flush round-trip time an adaptive aggregator has
+// observed so far (0 before the first flush, or when Adaptive is off).
+func (a *Aggregator) RTT() time.Duration {
+	a.rttMu.Lock()
+	defer a.rttMu.Unlock()
+	return time.Duration(a.rttEWMA)
+}
+
+// observeRTT folds one flush's measured round trip into the EWMA and derives
+// the next wait window from it.
+func (a *Aggregator) observeRTT(rtt time.Duration) {
+	// alpha 0.3: reacts to a genuine latency shift within a few flushes
+	// while one slow outlier moves the window under a third of the way.
+	const alpha = 0.3
+	a.rttMu.Lock()
+	if a.rttEWMA == 0 {
+		a.rttEWMA = float64(rtt)
+	} else {
+		a.rttEWMA = alpha*float64(rtt) + (1-alpha)*a.rttEWMA
+	}
+	ewma := a.rttEWMA
+	a.rttMu.Unlock()
+	w := time.Duration(a.cfg.WindowFraction * ewma)
+	if w < a.cfg.MinWindow {
+		w = a.cfg.MinWindow
+	}
+	if w > a.cfg.MaxWindow {
+		w = a.cfg.MaxWindow
+	}
+	a.window.Store(int64(w))
+}
 
 // Err returns the first batch error encountered via Predict, if any
 // (PredictBatch reports errors directly). Mirrors Client.Err.
@@ -163,8 +244,13 @@ func (a *Aggregator) submit(xs []mat.Vec) ([]mat.Vec, error) {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
-		a.flushes.Add(1)
+		// A flush is one shipped batch. Without a batch endpoint the
+		// pass-through probes go out individually, so counting a flush here
+		// would overstate how well the run batched.
 		a.probes.Add(int64(len(xs)))
+		if _, ok := a.inner.(plm.BatchPredictor); ok {
+			a.flushes.Add(1)
+		}
 		return predictAllErr(a.inner, xs)
 	}
 	w := &aggWaiter{xs: xs, done: make(chan struct{})}
@@ -174,7 +260,7 @@ func (a *Aggregator) submit(xs []mat.Vec) ([]mat.Vec, error) {
 	if a.count >= a.cfg.MaxBatch {
 		batch = a.takeLocked()
 	} else if a.timer == nil {
-		a.timer = time.AfterFunc(a.cfg.Window, a.timerFlush)
+		a.timer = time.AfterFunc(a.CurrentWindow(), a.timerFlush)
 	}
 	a.mu.Unlock()
 	a.flush(batch)
@@ -217,9 +303,17 @@ func (a *Aggregator) flush(batch []*aggWaiter) {
 	for _, w := range batch {
 		xs = append(xs, w.xs...)
 	}
-	a.flushes.Add(1)
+	// Same rule as the pass-through: a flush is counted only when the
+	// probes actually ship as one batch round trip.
 	a.probes.Add(int64(n))
+	if _, ok := a.inner.(plm.BatchPredictor); ok {
+		a.flushes.Add(1)
+	}
+	start := time.Now()
 	ys, err := predictAllErr(a.inner, xs)
+	if a.cfg.Adaptive && err == nil {
+		a.observeRTT(time.Since(start))
+	}
 	off := 0
 	for _, w := range batch {
 		if err != nil {

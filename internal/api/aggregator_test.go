@@ -291,3 +291,87 @@ type plainModel struct{ inner plm.Model }
 func (p plainModel) Predict(x mat.Vec) mat.Vec { return p.inner.Predict(x) }
 func (p plainModel) Dim() int                  { return p.inner.Dim() }
 func (p plainModel) Classes() int              { return p.inner.Classes() }
+
+func TestAggregatorPassThroughWithoutBatchEndpointCountsNoFlush(t *testing.T) {
+	// Regression: after Close, probes against a batchless model go out
+	// individually, yet each pass-through call still counted one flush —
+	// overstating how well the run batched.
+	a := NewAggregator(plainModel{testModel(61)}, AggregatorConfig{MaxBatch: 4, Window: time.Minute})
+	a.Close()
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	a.Predict(x)
+	if _, err := a.PredictBatch([]mat.Vec{x, x}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Flushes() != 0 {
+		t.Fatalf("batchless pass-through counted %d flushes, want 0", a.Flushes())
+	}
+	if a.Probes() != 3 {
+		t.Fatalf("probes = %d, want 3", a.Probes())
+	}
+	// A batch-capable inner model still counts its pass-through round trip.
+	b := NewAggregator(&echoBatcher{}, AggregatorConfig{})
+	b.Close()
+	b.Predict(mat.Vec{1})
+	if b.Flushes() != 1 {
+		t.Fatalf("batched pass-through counted %d flushes, want 1", b.Flushes())
+	}
+}
+
+func TestAggregatorAdaptiveWindowShrinksOnFastModel(t *testing.T) {
+	// Against an in-process model the observed RTT is microseconds, so the
+	// adaptive window must collapse to MinWindow — near-instant flushes
+	// instead of a fixed multi-millisecond wait.
+	cfg := AggregatorConfig{
+		Adaptive:  true,
+		Window:    10 * time.Millisecond, // deliberately awful seed window
+		MinWindow: 100 * time.Microsecond,
+	}
+	a := NewAggregator(&echoBatcher{}, cfg)
+	defer a.Close()
+	if a.CurrentWindow() != 10*time.Millisecond {
+		t.Fatalf("seed window = %v", a.CurrentWindow())
+	}
+	for i := 0; i < 8; i++ {
+		a.Predict(mat.Vec{float64(i)})
+	}
+	if got := a.CurrentWindow(); got != cfg.MinWindow {
+		t.Fatalf("window after fast flushes = %v, want MinWindow %v", got, cfg.MinWindow)
+	}
+	if a.RTT() <= 0 {
+		t.Fatal("no RTT estimate recorded")
+	}
+}
+
+// slowBatcher delays every batch — an injected-latency remote stand-in.
+type slowBatcher struct {
+	echoBatcher
+	latency time.Duration
+}
+
+func (s *slowBatcher) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	time.Sleep(s.latency)
+	return s.echoBatcher.PredictBatch(xs)
+}
+
+func TestAggregatorAdaptiveWindowTracksSlowModel(t *testing.T) {
+	// With ~10ms round trips the window must converge to roughly
+	// WindowFraction * RTT: far above the 2ms fixed default, still below
+	// MaxWindow. Bounds are generous for slow CI machines.
+	const latency = 10 * time.Millisecond
+	a := NewAggregator(&slowBatcher{latency: latency}, AggregatorConfig{Adaptive: true})
+	defer a.Close()
+	for i := 0; i < 6; i++ {
+		a.Predict(mat.Vec{float64(i)})
+	}
+	rtt, window := a.RTT(), a.CurrentWindow()
+	if rtt < latency {
+		t.Fatalf("RTT estimate %v below injected latency %v", rtt, latency)
+	}
+	if window < latency/4 {
+		t.Fatalf("window %v did not grow toward the %v RTT", window, rtt)
+	}
+	if window > 20*time.Millisecond {
+		t.Fatalf("window %v exceeds MaxWindow", window)
+	}
+}

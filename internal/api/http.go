@@ -50,6 +50,9 @@ type batchResponse struct {
 type statsResponse struct {
 	Queries    int64 `json:"queries"`
 	RoundTrips int64 `json:"round_trips"`
+	// ReplicaQueries breaks Queries down per model replica when the served
+	// model is a Shard; absent for single-replica servers.
+	ReplicaQueries []int64 `json:"replica_queries,omitempty"`
 }
 
 // Server exposes a plm.Model over HTTP. It implements http.Handler.
@@ -93,10 +96,14 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Queries:    s.queries.Load(),
 		RoundTrips: s.requests.Load(),
-	})
+	}
+	if sh, ok := s.model.(*Shard); ok {
+		resp.ReplicaQueries = sh.ReplicaQueries()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -124,6 +131,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// An empty batch is a no-op, not a round trip: counting it would skew
+	// the queries/round_trips ratio the stats report (and the integration
+	// gate) with zero-query requests.
+	if len(req.Xs) == 0 {
+		writeJSON(w, http.StatusOK, batchResponse{Probs: [][]float64{}})
+		return
+	}
 	// Validate everything before counting: a rejected request must not
 	// skew the queries/round_trips ratio the stats report.
 	for i, x := range req.Xs {
@@ -135,11 +149,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
 	}
-	s.requests.Add(1)
-	out := batchResponse{Probs: make([][]float64, len(req.Xs))}
+	xs := make([]mat.Vec, len(req.Xs))
 	for i, x := range req.Xs {
-		s.queries.Add(1)
-		out.Probs[i] = s.model.Predict(mat.Vec(x))
+		xs[i] = mat.Vec(x)
+	}
+	// The model's own batch endpoint — a Shard's parallel replica fan-out,
+	// say — answers the whole request at once; plain models fall back to
+	// per-probe evaluation. Count only after it succeeds: a failed batch
+	// delivered zero answers, and counting it (times the client's 5xx
+	// retries) would skew the queries/round_trips ratio like any other
+	// rejected request.
+	ys, err := predictAllErr(s.model, xs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.requests.Add(1)
+	s.queries.Add(int64(len(req.Xs)))
+	out := batchResponse{Probs: make([][]float64, len(ys))}
+	for i, y := range ys {
+		out.Probs[i] = y
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -238,6 +267,11 @@ func (c *Client) record(err error) {
 	c.mu.Unlock()
 }
 
+// post sends one JSON request, retrying transport errors, 5xx responses and
+// body decode failures up to c.retries extra times. A 4xx response is the
+// server rejecting the request itself — re-sending the same payload can only
+// waste round trips and delay the caller seeing its own mistake — so those
+// return immediately.
 func (c *Client) post(path string, body, dst any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -250,17 +284,22 @@ func (c *Client) post(path string, body, dst any) error {
 			lastErr = err
 			continue
 		}
+		retryable := true
 		func() {
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 				lastErr = fmt.Errorf("api: %s returned %s: %s", path, resp.Status, bytes.TrimSpace(b))
+				retryable = resp.StatusCode >= 500
 				return
 			}
 			lastErr = json.NewDecoder(resp.Body).Decode(dst)
 		}()
 		if lastErr == nil {
 			return nil
+		}
+		if !retryable {
+			return lastErr
 		}
 	}
 	return lastErr
@@ -290,8 +329,12 @@ func (c *Client) Predict(x mat.Vec) mat.Vec {
 	return p
 }
 
-// PredictBatch performs one batched remote prediction.
+// PredictBatch performs one batched remote prediction. An empty batch is
+// answered locally — there is nothing to ask the server.
 func (c *Client) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
 	req := batchRequest{Xs: make([][]float64, len(xs))}
 	for i, x := range xs {
 		req.Xs[i] = x

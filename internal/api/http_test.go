@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -272,6 +273,128 @@ func TestServerSurvivesConcurrentClients(t *testing.T) {
 	}
 	if srv.Queries() != 8*20 {
 		t.Fatalf("served %d queries, want 160", srv.Queries())
+	}
+}
+
+func TestRetryStopsOnClientError(t *testing.T) {
+	// Regression: a 4xx means the request itself is wrong — re-sending the
+	// identical payload N more times wasted round trips and delayed the
+	// caller seeing its own mistake. Count the attempts that reach the
+	// server: a 400 must arrive exactly once, however many retries the
+	// client was built with.
+	var attempts atomic.Int64
+	inner := NewServer(testModel(100), "strict")
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/predict" || r.URL.Path == "/batch" {
+			attempts.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer counting.Close()
+	c, err := Dial(counting.URL, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong input length -> server responds 400.
+	if _, err := c.PredictErr(mat.Vec{1, 2}); err == nil {
+		t.Fatal("bad request accepted")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("400 response was sent %d times, want 1", got)
+	}
+	attempts.Store(0)
+	if _, err := c.PredictBatch([]mat.Vec{{1, 2}}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("batch 400 was sent %d times, want 1", got)
+	}
+}
+
+func TestRetryStillCoversServerErrors(t *testing.T) {
+	// 5xx stays retryable: a persistent 503 is attempted 1 + retries times.
+	var attempts atomic.Int64
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/predict" {
+			attempts.Add(1)
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		NewServer(testModel(100), "down").ServeHTTP(w, r)
+	}))
+	defer down.Close()
+	c, err := Dial(down.URL, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictErr(mat.Vec{0, 0, 0, 0}); err == nil {
+		t.Fatal("persistent 503 succeeded")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("503 attempted %d times, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestEmptyBatchIsNotARoundTrip(t *testing.T) {
+	// Regression: an empty /batch used to count a round trip with zero
+	// queries, skewing the queries/round_trips ratio the integration gate
+	// reads off /stats.
+	srv, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(`{"xs":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch -> %s", resp.Status)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Probs) != 0 {
+		t.Fatalf("empty batch answered %d items", len(out.Probs))
+	}
+	if srv.Requests() != 0 || srv.Queries() != 0 {
+		t.Fatalf("empty batch counted: %d trips / %d queries", srv.Requests(), srv.Queries())
+	}
+	// Client side: an empty batch never reaches the wire at all.
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := c.PredictBatch(nil); err != nil || out != nil {
+		t.Fatalf("client empty batch: %v, %v", out, err)
+	}
+	if srv.Requests() != 0 {
+		t.Fatalf("client shipped an empty batch: %d trips", srv.Requests())
+	}
+}
+
+func TestAdaptiveWindowConvergesOverLatentHTTP(t *testing.T) {
+	// The end-to-end form of the adaptive-window contract: against a
+	// served model with injected latency, DialAggregated's window must
+	// converge to a fraction of the genuinely observed HTTP round trip.
+	srv, ts := newTestServer(t)
+	srv.Latency = 8 * time.Millisecond
+	agg, client, err := DialAggregated(ts.URL, nil, 0, AggregatorConfig{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < 6; i++ {
+		agg.Predict(x)
+	}
+	if err := client.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rtt, window := agg.RTT(), agg.CurrentWindow()
+	if rtt < srv.Latency {
+		t.Fatalf("RTT estimate %v below injected server latency %v", rtt, srv.Latency)
+	}
+	if window < srv.Latency/4 || window > 20*time.Millisecond {
+		t.Fatalf("window %v out of range for %v RTT", window, rtt)
 	}
 }
 

@@ -1,0 +1,129 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// Shard routes prediction traffic across N replicas of the same model. A
+// single replica answers a /batch request serially, so one big coalesced
+// batch — exactly what an aggregated interpreter pool ships — is evaluated
+// one probe at a time; the shard splits the batch into contiguous chunks and
+// evaluates them on all replicas in parallel, merging the answers back in
+// submission order. Replicas must be interchangeable (copies of one model,
+// or remotes serving it): the split is then invisible to callers and sharded
+// predictions are bit-identical to single-replica ones.
+//
+// A Shard is safe for concurrent use when its replicas are; every model in
+// this codebase is a pure function of its input, so sharing one model value
+// across replica slots is also valid (the replicas then buy intra-batch
+// parallelism, not memory isolation).
+type Shard struct {
+	replicas []plm.Model
+	// queries[i] counts the probes replica i has served — the /stats
+	// per-replica breakdown and the load-balance check in tests.
+	queries []atomic.Int64
+	// next drives the round-robin assignment of single predictions.
+	next atomic.Int64
+}
+
+// NewShard builds a router over the given replicas. All replicas must agree
+// on input dimensionality and class count.
+func NewShard(replicas []plm.Model) (*Shard, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("api: shard needs at least one replica")
+	}
+	d, c := replicas[0].Dim(), replicas[0].Classes()
+	for i, r := range replicas[1:] {
+		if r.Dim() != d || r.Classes() != c {
+			return nil, fmt.Errorf("api: replica %d is %dx%d, replica 0 is %dx%d",
+				i+1, r.Dim(), r.Classes(), d, c)
+		}
+	}
+	return &Shard{replicas: replicas, queries: make([]atomic.Int64, len(replicas))}, nil
+}
+
+// Replicas returns the number of replicas behind the router.
+func (s *Shard) Replicas() int { return len(s.replicas) }
+
+// ReplicaQueries returns the number of probes each replica has served.
+func (s *Shard) ReplicaQueries() []int64 {
+	out := make([]int64, len(s.queries))
+	for i := range s.queries {
+		out[i] = s.queries[i].Load()
+	}
+	return out
+}
+
+// Dim forwards to the first replica.
+func (s *Shard) Dim() int { return s.replicas[0].Dim() }
+
+// Classes forwards to the first replica.
+func (s *Shard) Classes() int { return s.replicas[0].Classes() }
+
+// Predict routes one prediction to the next replica round-robin.
+func (s *Shard) Predict(x mat.Vec) mat.Vec {
+	i := int(s.next.Add(1)-1) % len(s.replicas)
+	s.queries[i].Add(1)
+	return s.replicas[i].Predict(x)
+}
+
+// PredictBatch splits the batch into contiguous chunks, evaluates one chunk
+// per replica concurrently, and merges the answers in submission order.
+// Replica r writes only its own out[lo:hi] segment, so the merge needs no
+// reordering and no lock. The first replica error fails the whole batch —
+// partial answers would silently corrupt an interpretation's linear system.
+func (s *Shard) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	n := len(s.replicas)
+	if n == 1 || len(xs) == 1 {
+		s.queries[0].Add(int64(len(xs)))
+		return predictAllErr(s.replicas[0], xs)
+	}
+	chunk := (len(xs) + n - 1) / n
+	out := make([]mat.Vec, len(xs))
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	for r := 0; r < n; r++ {
+		lo := r * chunk
+		if lo >= len(xs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		wg.Add(1)
+		go func(r, lo, hi int) {
+			defer wg.Done()
+			s.queries[r].Add(int64(hi - lo))
+			ys, err := predictAllErr(s.replicas[r], xs[lo:hi])
+			if err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = fmt.Errorf("api: replica %d: %w", r, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			copy(out[lo:hi], ys)
+		}(r, lo, hi)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+var _ plm.Model = (*Shard)(nil)
+var _ plm.BatchPredictor = (*Shard)(nil)

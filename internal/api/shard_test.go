@@ -1,0 +1,213 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+func shardOf(t *testing.T, n int, seed int64) *Shard {
+	t.Helper()
+	replicas := make([]plm.Model, n)
+	for i := range replicas {
+		// Same seed: interchangeable copies, each its own value.
+		replicas[i] = testModel(seed)
+	}
+	s, err := NewShard(replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardBitIdenticalAcrossReplicaCounts(t *testing.T) {
+	// The split must be invisible: sharded batch predictions are
+	// bit-identical to the single model's, whatever the replica count.
+	single := testModel(200)
+	xs := make([]mat.Vec, 13) // deliberately not divisible by 2 or 4
+	for i := range xs {
+		xs[i] = mat.Vec{float64(i) / 13, 0.5, -float64(i) / 7, 0.25}
+	}
+	want := make([]mat.Vec, len(xs))
+	for i, x := range xs {
+		want[i] = single.Predict(x)
+	}
+	for _, n := range []int{1, 2, 4} {
+		s := shardOf(t, n, 200)
+		got, err := s.PredictBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if !got[i].EqualApprox(want[i], 0) {
+				t.Fatalf("replicas=%d item %d: %v != %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardOrderPreservedUnderConcurrentBatches(t *testing.T) {
+	// Many goroutines fire interleaved batches; each must get its own
+	// answers in its own submission order. Run with -race.
+	s := shardOf(t, 4, 201)
+	single := testModel(201)
+	const callers, perCaller = 12, 11
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([]mat.Vec, perCaller)
+			for i := range xs {
+				xs[i] = mat.Vec{float64(g) / callers, float64(i) / perCaller, 0.1, -0.1}
+			}
+			out, err := s.PredictBatch(xs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, x := range xs {
+				if want := single.Predict(x); !out[i].EqualApprox(want, 0) {
+					errs <- fmt.Errorf("caller %d item %d: got %v want %v", g, i, out[i], want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	queries := s.ReplicaQueries()
+	var sum int64
+	for _, q := range queries {
+		sum += q
+	}
+	if sum != callers*perCaller {
+		t.Fatalf("replica queries sum to %d, want %d (%v)", sum, callers*perCaller, queries)
+	}
+}
+
+func TestShardSpreadsBatchAcrossReplicas(t *testing.T) {
+	s := shardOf(t, 4, 202)
+	xs := make([]mat.Vec, 16)
+	for i := range xs {
+		xs[i] = mat.Vec{float64(i), 0, 0, 0}
+	}
+	if _, err := s.PredictBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	for r, q := range s.ReplicaQueries() {
+		if q != 4 {
+			t.Fatalf("replica %d served %d of a 16-item batch over 4 replicas, want 4", r, q)
+		}
+	}
+}
+
+func TestShardRoundRobinsSinglePredictions(t *testing.T) {
+	s := shardOf(t, 3, 203)
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < 9; i++ {
+		s.Predict(x)
+	}
+	for r, q := range s.ReplicaQueries() {
+		if q != 3 {
+			t.Fatalf("replica %d served %d singles, want 3", r, q)
+		}
+	}
+}
+
+// failingModel errors on the batch endpoint — a dead remote replica.
+type failingModel struct{ plm.Model }
+
+func (f failingModel) PredictBatch([]mat.Vec) ([]mat.Vec, error) {
+	return nil, errors.New("replica down")
+}
+
+func TestShardPropagatesReplicaFailure(t *testing.T) {
+	// A partial answer would silently corrupt interpretations, so one dead
+	// replica must fail the whole batch.
+	s, err := NewShard([]plm.Model{testModel(204), failingModel{testModel(204)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]mat.Vec, 8)
+	for i := range xs {
+		xs[i] = mat.Vec{1, 0, 0, 0}
+	}
+	if _, err := s.PredictBatch(xs); err == nil {
+		t.Fatal("dead replica did not fail the batch")
+	}
+}
+
+func TestFailedBatchIsNotARoundTrip(t *testing.T) {
+	// A batch the model could not answer delivered nothing: counting it
+	// would skew the queries/round_trips ratio, and the client's 5xx retry
+	// loop would multiply the skew.
+	srv := NewServer(failingModel{testModel(208)}, "broken")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c, err := Dial(ts.URL, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictBatch([]mat.Vec{{1, 0, 0, 0}, {0, 1, 0, 0}}); err == nil {
+		t.Fatal("failing model answered the batch")
+	}
+	if srv.Requests() != 0 || srv.Queries() != 0 {
+		t.Fatalf("failed batch counted: %d trips / %d queries", srv.Requests(), srv.Queries())
+	}
+}
+
+func TestShardRejectsBadReplicaSets(t *testing.T) {
+	if _, err := NewShard(nil); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	mismatched := []plm.Model{testModel(205), plainModel{&echoBatcher{}}}
+	if _, err := NewShard(mismatched); err == nil {
+		t.Fatal("dim/class mismatch accepted")
+	}
+}
+
+func TestShardEmptyBatch(t *testing.T) {
+	s := shardOf(t, 2, 206)
+	out, err := s.PredictBatch(nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestShardedServerReportsPerReplicaStats(t *testing.T) {
+	// The full plmserve -replicas wiring: shard behind Server, /batch fans
+	// out, /stats carries the per-replica breakdown.
+	s := shardOf(t, 4, 207)
+	srv := NewServer(s, "sharded")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]mat.Vec, 8)
+	for i := range xs {
+		xs[i] = mat.Vec{float64(i) / 8, 0, 0, 0}
+	}
+	if _, err := c.PredictBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Queries() != 8 || srv.Requests() != 1 {
+		t.Fatalf("server saw %d queries / %d trips, want 8 / 1", srv.Queries(), srv.Requests())
+	}
+	for r, q := range s.ReplicaQueries() {
+		if q != 2 {
+			t.Fatalf("replica %d served %d, want 2", r, q)
+		}
+	}
+}

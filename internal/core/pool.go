@@ -67,7 +67,64 @@ func (p *Pool) InterpretMany(model plm.Model, xs []mat.Vec) []Result {
 	if len(xs) == 0 {
 		return results
 	}
-	y0s := plm.PredictAll(model, xs)
+	// Validate instance shapes before the batched pre-query: one malformed
+	// instance must fail its own Result, not panic the whole batch inside
+	// the model's forward pass (the serial path rejects it with the same
+	// error via checkInstance).
+	valid := make([]int, 0, len(xs))
+	for i, x := range xs {
+		if len(x) != model.Dim() {
+			results[i] = Result{Index: i, Err: fmt.Errorf("core: instance length %d != model dim %d", len(x), model.Dim())}
+			continue
+		}
+		valid = append(valid, i)
+	}
+	if len(valid) == 0 {
+		return results
+	}
+	vxs := make([]mat.Vec, len(valid))
+	for j, i := range valid {
+		vxs[j] = xs[i]
+	}
+	// Snapshot any sticky error before probing: the check below must be
+	// able to tell a fresh pre-query failure from an error a reused client
+	// recorded in some earlier run.
+	var stale error
+	if se, ok := model.(interface{ Err() error }); ok {
+		stale = se.Err()
+	}
+	ys := plm.PredictAll(model, vxs)
+	y0s := make([]mat.Vec, len(xs))
+	for j, i := range valid {
+		y0s[i] = ys[j]
+	}
+	// Remote models degrade transport failures to uniform distributions, so
+	// a dead API turns the argmax pre-query into garbage anchors: every job
+	// would then "converge" on class 0 of a constant model. When the model
+	// exposes a sticky error (api.Client, api.Aggregator), check it now and
+	// fail every affected instance fast instead of burning MaxIterations of
+	// probes per job against a wire that is already known broken. A sticky
+	// error that predates this run is ambiguous — record() keeps only the
+	// first error, so a fresh failure would be invisible behind it — and
+	// silently wrong anchors are worse than a loud abort, so those fail too,
+	// with a message pointing at ResetErr.
+	if se, ok := model.(interface{ Err() error }); ok {
+		if err := se.Err(); err != nil {
+			wrap := func() error { return fmt.Errorf("core: argmax pre-query failed: %w", err) }
+			if stale != nil {
+				wrap = func() error {
+					return fmt.Errorf("core: model carries a sticky error predating this run (ResetErr before bulk interpretation): %w", err)
+				}
+			}
+			for i := range results {
+				if results[i].Err != nil {
+					continue // keep the precise shape-validation error
+				}
+				results[i] = Result{Index: i, Err: wrap()}
+			}
+			return results
+		}
+	}
 	n := len(p.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
@@ -75,6 +132,9 @@ func (p *Pool) InterpretMany(model plm.Model, xs []mat.Vec) []Result {
 		go func(w int, o *OpenAPI) {
 			defer wg.Done()
 			for i := w; i < len(xs); i += n {
+				if y0s[i] == nil {
+					continue // rejected before the pre-query
+				}
 				c := y0s[i].ArgMax()
 				interp, err := o.InterpretWithPrediction(model, xs[i], y0s[i], c)
 				results[i] = Result{Index: i, Interp: interp, Err: err}

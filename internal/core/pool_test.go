@@ -1,8 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -134,6 +138,63 @@ func TestPoolAggregationPreservesResults(t *testing.T) {
 	}
 	if agg.Probes() == 0 {
 		t.Fatal("aggregator was bypassed")
+	}
+}
+
+func TestPoolFailsFastOnDeadAPI(t *testing.T) {
+	// Regression: a dead remote degrades the argmax pre-query to uniform
+	// distributions, so every job used to "converge" happily on garbage
+	// anchors — class 0 of a constant model — with a clean Result.Err. The
+	// pool must notice the client's sticky error right after the pre-query
+	// and fail every instance instead.
+	model := plnnModel(96, 4, 6, 3)
+	ts := httptest.NewServer(api.NewServer(model, "doomed"))
+	client, err := api.Dial(ts.URL, &http.Client{Timeout: 300 * time.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close() // the API dies before the bulk job starts
+	rng := rand.New(rand.NewSource(97))
+	xs := make([]mat.Vec, 6)
+	for i := range xs {
+		xs[i] = randVec(rng, 4)
+	}
+	results := NewPool(Config{Seed: 98}, 2).InterpretMany(client, xs)
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("instance %d \"succeeded\" against a dead API", i)
+		}
+		if r.Interp != nil {
+			t.Fatalf("instance %d carries an interpretation from garbage anchors", i)
+		}
+	}
+}
+
+// staleErrModel works perfectly but carries a sticky error from an earlier
+// run — the reused-client case.
+type staleErrModel struct {
+	plm.Model
+	err error
+}
+
+func (m staleErrModel) Err() error { return m.err }
+
+func TestPoolStaleStickyErrorFailsLoudly(t *testing.T) {
+	// A pre-existing sticky error is ambiguous (a fresh failure would hide
+	// behind it), so the pool must refuse loudly and point at ResetErr
+	// rather than either trusting the wire or mislabeling the old error as
+	// a pre-query failure.
+	model := plnnModel(99, 4, 6, 3)
+	rng := rand.New(rand.NewSource(100))
+	xs := []mat.Vec{randVec(rng, 4), randVec(rng, 4)}
+	stale := staleErrModel{Model: model, err: errors.New("old transient")}
+	for i, r := range NewPool(Config{Seed: 101}, 2).InterpretMany(stale, xs) {
+		if r.Err == nil {
+			t.Fatalf("instance %d ignored the stale sticky error", i)
+		}
+		if !strings.Contains(r.Err.Error(), "ResetErr") {
+			t.Fatalf("instance %d error does not point at ResetErr: %v", i, r.Err)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/plm"
+)
+
+func TestQualityOverAPIMatchesLocal(t *testing.T) {
+	// The remote harness must not change the science: OpenAPI over a
+	// sharded HTTP hop with an adaptive window stays exact, and the wire
+	// stats prove the probes actually batched.
+	w, err := NewWorkbench(WorkbenchConfig{Size: 8, PerClass: 20, NNEpochs: 8, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := w.Test.X[:3]
+	methods := []plm.Interpreter{core.New(core.Config{Seed: 32})}
+	rows, wire, err := QualityOverAPI(w.PLNN, "remote-plnn", methods, xs, 2, api.AggregatorConfig{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Failures > 0 || r.AvgRD != 0 || r.WD.Mean != 0 {
+		t.Fatalf("remote quality broken: %+v", r)
+	}
+	if r.L1.Mean > 1e-4 {
+		t.Fatalf("remote L1 = %v", r.L1.Mean)
+	}
+	if wire.Queries == 0 || wire.RoundTrips == 0 {
+		t.Fatalf("no wire traffic recorded: %+v", wire)
+	}
+	// Per-iteration batching alone guarantees far more than one query per
+	// round trip (each sample set is d+k probes in one POST /batch).
+	if wire.QueriesPerTrip() < 2 {
+		t.Fatalf("queries/trip = %v, batching did not engage", wire.QueriesPerTrip())
+	}
+	if wire.Window <= 0 {
+		t.Fatalf("no window in force: %+v", wire)
+	}
+}
+
+func TestServeRemoteLifecycle(t *testing.T) {
+	w, err := NewWorkbench(WorkbenchConfig{Size: 8, PerClass: 20, NNEpochs: 5, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := ServeRemote(w.PLNN, "lifecycle", 3, api.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.URL() == "" {
+		t.Fatal("no URL")
+	}
+	m := bench.Model()
+	if m.Dim() != w.PLNN.Dim() || m.Classes() != w.PLNN.Classes() {
+		t.Fatalf("meta mismatch: %d/%d", m.Dim(), m.Classes())
+	}
+	x := w.Test.X[0]
+	got := m.Predict(x)
+	if want := w.PLNN.Predict(x); !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("remote %v != local %v", got, want)
+	}
+	if err := bench.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Close must not panic the aggregator or the server.
+	_ = bench.Close()
+}

@@ -96,11 +96,12 @@ func (s *Surrogate) RegionAt(x mat.Vec) *Region { return s.nearestRegion(x) }
 
 // Extractor steals regions from a hidden model through its API.
 type Extractor struct {
-	o *core.OpenAPI
+	cfg core.Config
+	o   *core.OpenAPI
 }
 
 // New returns an extractor driven by the given OpenAPI configuration.
-func New(cfg core.Config) *Extractor { return &Extractor{o: core.New(cfg)} }
+func New(cfg core.Config) *Extractor { return &Extractor{cfg: cfg, o: core.New(cfg)} }
 
 // Harvest recovers the locally linear region around each probe and returns
 // the assembled surrogate. Probes whose interpretation fails (e.g. exactly
@@ -133,20 +134,86 @@ func (e *Extractor) harvestOne(model plm.Model, probe mat.Vec) (*Region, error) 
 	if err != nil {
 		return nil, err
 	}
-	C := model.Classes()
+	return regionFromInterp(probe, interp, model.Dim(), model.Classes())
+}
+
+// HarvestPool is Harvest on the concurrent fast path: probes are interpreted
+// by a core.Pool of workers sharing one batched argmax pre-query, so the
+// bulk extraction workload rides the same batching layers as every other
+// pool job — wrap model in an api.Aggregator against a sharded remote and
+// the whole harvest collapses into a few wide round trips. Each probe's one
+// converged interpretation (of the predicted class) is reused for every
+// class, InterpretAll-style, via the antisymmetry of the pair differences;
+// no extra queries per class.
+//
+// Like Harvest, failed probes are skipped and an error is returned only when
+// every probe fails. Results are deterministic for a fixed worker count.
+func (e *Extractor) HarvestPool(model plm.Model, probes []mat.Vec, workers int) (*Surrogate, error) {
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("extract: no probes")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	pool := core.NewPool(e.cfg, workers)
+	results := pool.InterpretMany(model, probes)
+	s := &Surrogate{dim: model.Dim(), classes: model.Classes()}
+	var firstErr error
+	for i, res := range results {
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		region, err := regionFromInterp(probes[i], res.Interp, model.Dim(), model.Classes())
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.regions = append(s.regions, region)
+	}
+	if len(s.regions) == 0 {
+		return nil, fmt.Errorf("extract: all %d probes failed: %w", len(probes), firstErr)
+	}
+	return s, nil
+}
+
+// regionFromInterp rebases one interpretation — of any class c* — onto the
+// class-0-relative form a Region stores. With D_{c*,c'} = W_{c*} − W_{c'}
+// from the interpretation, the wanted W_c − W_0 is D_{c*,0} − D_{c*,c}
+// (and D_{c*,c*} = 0), so a single converged sample set yields the whole
+// region classifier whatever class anchored it.
+func regionFromInterp(probe mat.Vec, interp *plm.Interpretation, dim, C int) (*Region, error) {
+	cs := interp.Class
+	d0 := mat.NewVec(dim) // D_{c*,0}; zero when c* == 0
+	var b0 float64
+	if cs != 0 {
+		if interp.PairDiffs[0] == nil {
+			return nil, fmt.Errorf("extract: missing pair (%d,0)", cs)
+		}
+		d0 = interp.PairDiffs[0]
+		b0 = interp.Biases[0]
+	}
 	r := &Region{
 		Probe: probe.Clone(),
 		RelW:  make([]mat.Vec, C),
 		RelB:  make([]float64, C),
 	}
-	r.RelW[0] = mat.NewVec(model.Dim())
+	r.RelW[0] = mat.NewVec(dim)
 	for c := 1; c < C; c++ {
-		if interp.PairDiffs[c] == nil {
-			return nil, fmt.Errorf("extract: missing pair (0,%d)", c)
+		if c == cs {
+			r.RelW[c] = d0.Clone()
+			r.RelB[c] = b0
+			continue
 		}
-		// interp carries D_{0,c}; the surrogate wants D_{c,0} = -D_{0,c}.
-		r.RelW[c] = interp.PairDiffs[c].Scale(-1)
-		r.RelB[c] = -interp.Biases[c]
+		if interp.PairDiffs[c] == nil {
+			return nil, fmt.Errorf("extract: missing pair (%d,%d)", cs, c)
+		}
+		r.RelW[c] = d0.Sub(interp.PairDiffs[c])
+		r.RelB[c] = b0 - interp.Biases[c]
 	}
 	return r, nil
 }

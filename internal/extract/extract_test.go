@@ -114,6 +114,96 @@ func TestHarvestThroughCountedAPI(t *testing.T) {
 	}
 }
 
+func TestHarvestPoolExactWithinRegion(t *testing.T) {
+	// HarvestPool anchors each region at the probe's *predicted* class and
+	// rebases onto class 0, so its surrogate must be exact within probed
+	// regions exactly like the serial Harvest.
+	model := plnnModel(20, 5, 10, 4)
+	rng := rand.New(rand.NewSource(21))
+	probes := make([]mat.Vec, 6)
+	for i := range probes {
+		probes[i] = randVec(rng, 5)
+	}
+	ext := New(core.Config{Seed: 22})
+	s, err := ext.HarvestPool(model, probes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != len(probes) {
+		t.Fatalf("regions = %d, want %d", s.NumRegions(), len(probes))
+	}
+	hits := 0
+	for pi, probe := range probes {
+		for trial := 0; trial < 40; trial++ {
+			x := probe.Clone()
+			for i := range x {
+				x[i] += 1e-7 * rng.NormFloat64()
+			}
+			if model.RegionKey(x) != model.RegionKey(probe) {
+				continue
+			}
+			hits++
+			want := model.Predict(x)
+			got := s.Predict(x)
+			if !got.EqualApprox(want, 1e-6) {
+				t.Fatalf("probe %d: surrogate %v != model %v inside region", pi, got, want)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no same-region test points; test ineffective")
+	}
+}
+
+func TestHarvestPoolDeterministicAndConcurrent(t *testing.T) {
+	// Fixed worker count -> bit-identical surrogates across runs; changing
+	// nothing else, the pooled harvest through an aggregator must agree
+	// with itself too (run with -race).
+	model := plnnModel(23, 4, 8, 3)
+	rng := rand.New(rand.NewSource(24))
+	probes := make([]mat.Vec, 8)
+	for i := range probes {
+		probes[i] = randVec(rng, 4)
+	}
+	first, err := New(core.Config{Seed: 25}).HarvestPool(model, probes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := api.NewAggregator(model, api.AggregatorConfig{Adaptive: true})
+	defer agg.Close()
+	second, err := New(core.Config{Seed: 25}).HarvestPool(agg, probes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NumRegions() != second.NumRegions() {
+		t.Fatalf("regions differ: %d vs %d", first.NumRegions(), second.NumRegions())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := randVec(rng, 4)
+		a, b := first.Predict(x), second.Predict(x)
+		if !a.EqualApprox(b, 0) {
+			t.Fatalf("aggregated pooled harvest differs at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+func TestHarvestPoolSkipsFailedProbes(t *testing.T) {
+	model := plnnModel(26, 3, 6, 2)
+	rng := rand.New(rand.NewSource(27))
+	ext := New(core.Config{Seed: 28})
+	if _, err := ext.HarvestPool(model, nil, 2); err == nil {
+		t.Fatal("empty probes accepted")
+	}
+	// A wrong-dimension probe fails its job; the good probe still lands.
+	s, err := ext.HarvestPool(model, []mat.Vec{{1}, randVec(rng, 3)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != 1 {
+		t.Fatalf("regions = %d, want 1", s.NumRegions())
+	}
+}
+
 func TestHarvestErrors(t *testing.T) {
 	model := plnnModel(10, 3, 4, 2)
 	ext := New(core.Config{Seed: 11})

@@ -164,6 +164,21 @@ func AggregateQueries(model Model, maxBatch int, window time.Duration) *api.Aggr
 	return api.NewAggregator(model, api.AggregatorConfig{MaxBatch: maxBatch, Window: window})
 }
 
+// AggregateQueriesAdaptive is AggregateQueries with the flush window tracked
+// from observed round-trip time instead of fixed: local models flush
+// near-instantly, slow remotes batch aggressively. See api.AggregatorConfig.
+func AggregateQueriesAdaptive(model Model) *api.Aggregator {
+	return api.NewAggregator(model, api.AggregatorConfig{Adaptive: true})
+}
+
+// ShardModel routes prediction traffic across interchangeable replicas of
+// one model: /batch-style bulk requests are split into chunks evaluated on
+// all replicas in parallel and merged back in order. Serve the returned
+// shard with ServeModel for a multi-replica prediction service.
+func ShardModel(replicas ...Model) (*api.Shard, error) {
+	return api.NewShard(replicas)
+}
+
 // WrapBinaryScore adapts a single-probability API (P(positive | x), the
 // most common real-world binary-classifier surface) into a two-class Model,
 // so OpenAPI runs unchanged against score-only services.
@@ -216,6 +231,15 @@ type Surrogate = extract.Surrogate
 // probe.
 func ExtractSurrogate(model Model, probes []Vec) (*Surrogate, error) {
 	return extract.New(core.Config{}).Harvest(model, probes)
+}
+
+// ExtractSurrogatePooled is ExtractSurrogate across a pool of concurrent
+// workers — the bulk-extraction fast path. Wrap the model with
+// AggregateQueriesAdaptive (and serve it sharded) to collapse the harvest
+// into a few wide round trips; results are deterministic for a fixed
+// worker count.
+func ExtractSurrogatePooled(model Model, probes []Vec, workers int) (*Surrogate, error) {
+	return extract.New(core.Config{}).HarvestPool(model, probes, workers)
 }
 
 // VerifySurrogate measures label agreement and mean total-variation distance
