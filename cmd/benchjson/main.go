@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON array of benchmark records, one object per benchmark line.
+// CI pipes the PR benchmark run through it to record the performance
+// trajectory (BENCH_pr3.json and successors):
+//
+//	go test -run='^$' -bench=. -benchtime=20x ./internal/nn | benchjson -out BENCH_pr3.json
+//
+// Standard extra metrics (B/op, allocs/op, and any custom ReportMetric
+// units) are captured into the metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine parses one "BenchmarkFoo-8  123  456 ns/op  789 B/op" line,
+// reporting ok=false for non-benchmark lines.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{
+		Name:       strings.TrimSuffix(fields[0], "-"+lastDashSuffix(fields[0])),
+		Iterations: iters,
+	}
+	// The remainder alternates value/unit pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" && !sawNs {
+			rec.NsPerOp = v
+			sawNs = true
+			continue
+		}
+		if rec.Metrics == nil {
+			rec.Metrics = make(map[string]float64)
+		}
+		rec.Metrics[unit] = v
+	}
+	if !sawNs {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// lastDashSuffix returns the trailing GOMAXPROCS suffix of a benchmark name
+// ("8" for "BenchmarkFoo-8"), or "" when the name has none.
+func lastDashSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i+1:]
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			records = append(records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(records) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		fmt.Print(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark records to %s", len(records), *out)
+}

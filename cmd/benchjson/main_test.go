@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	rec, ok := parseLine("BenchmarkLogitsBatch256-8   \t     50\t  9023498 ns/op\t 1234 B/op\t  12 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if rec.Name != "BenchmarkLogitsBatch256" {
+		t.Fatalf("name %q", rec.Name)
+	}
+	if rec.Iterations != 50 || rec.NsPerOp != 9023498 {
+		t.Fatalf("parsed %+v", rec)
+	}
+	if rec.Metrics["B/op"] != 1234 || rec.Metrics["allocs/op"] != 12 {
+		t.Fatalf("metrics %v", rec.Metrics)
+	}
+}
+
+func TestParseLineNoProcsSuffix(t *testing.T) {
+	rec, ok := parseLine("BenchmarkExtract_RegionCache  10  830879 ns/op")
+	if !ok || rec.Name != "BenchmarkExtract_RegionCache" {
+		t.Fatalf("parsed %+v ok=%v", rec, ok)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro/internal/nn",
+		"PASS",
+		"ok  \trepro/internal/nn\t0.412s",
+		"BenchmarkBroken x ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("noise line accepted: %q", line)
+		}
+	}
+}

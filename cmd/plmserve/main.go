@@ -6,10 +6,14 @@
 // api.Shard router: each /batch request fans out across the replicas in
 // parallel and /stats reports the per-replica query breakdown.
 //
+// With -cache N a bounded LRU response cache sits in front of the model (or
+// the whole shard): repeated probes are answered without touching any
+// replica, and /stats reports cache_hits / cache_misses / cache_evictions.
+//
 // Usage:
 //
 //	plmserve -model plnn.json -type plnn -addr :8080
-//	plmserve -model plnn.json -type plnn -replicas 4
+//	plmserve -model plnn.json -type plnn -replicas 4 -cache 4096
 //	plmserve -model lmt.json -type lmt -addr 127.0.0.1:9000 -latency 5ms
 package main
 
@@ -54,6 +58,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		name      = flag.String("name", "", "advertised model name (default: file path)")
 		replicas  = flag.Int("replicas", 1, "model replicas served behind the shard router")
+		cacheN    = flag.Int("cache", 0, "LRU response cache entries in front of the model (0: off)")
 		latency   = flag.Duration("latency", 0, "artificial per-request latency")
 		logStats  = flag.Duration("log-stats", 0, "periodically log served queries and round trips (0: off)")
 	)
@@ -71,6 +76,17 @@ func main() {
 	model, err := loadReplicas(*modelPath, *modelType, *replicas)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cacheN > 0 {
+		// The cache fronts the whole shard: a repeated probe is answered
+		// before any replica sees it, and /stats reports hits and misses.
+		cached, err := api.NewResponseCache(model, *cacheN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = cached
+	} else if *cacheN < 0 {
+		log.Fatalf("-cache %d: need >= 0", *cacheN)
 	}
 
 	srv := api.NewServer(model, *name)

@@ -100,3 +100,62 @@ func TestLoadReplicasBadInputs(t *testing.T) {
 		t.Fatal("unknown kind accepted")
 	}
 }
+
+// TestCachedShardedServer exercises what `plmserve -replicas 2 -cache 64`
+// wires together: the LRU response cache in front of the shard, repeat
+// probes answered without growing the query count, and the cache counters
+// visible under /stats alongside the replica breakdown.
+func TestCachedShardedServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := nn.New(rng, 5, 7, 3)
+	path := filepath.Join(t.TempDir(), "plnn.json")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	model, err := loadReplicas(path, "plnn", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := api.NewResponseCache(model, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.NewServer(cached, "cached"))
+	defer ts.Close()
+	client, err := api.Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(mat.Vec, 5)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	first := client.Predict(x)
+	second := client.Predict(x)
+	if err := client.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !first.EqualApprox(second, 0) {
+		t.Fatalf("cached answer %v != first answer %v", second, first)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		CacheHits      *int64  `json:"cache_hits"`
+		CacheMisses    *int64  `json:"cache_misses"`
+		ReplicaQueries []int64 `json:"replica_queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits == nil || *stats.CacheHits != 1 || stats.CacheMisses == nil || *stats.CacheMisses != 1 {
+		t.Fatalf("cache stats hits=%v misses=%v, want 1/1", stats.CacheHits, stats.CacheMisses)
+	}
+	if len(stats.ReplicaQueries) != 2 {
+		t.Fatalf("replica_queries = %v, want the shard visible behind the cache", stats.ReplicaQueries)
+	}
+}

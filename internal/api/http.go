@@ -53,6 +53,13 @@ type statsResponse struct {
 	// ReplicaQueries breaks Queries down per model replica when the served
 	// model is a Shard; absent for single-replica servers.
 	ReplicaQueries []int64 `json:"replica_queries,omitempty"`
+	// Cache counters are present when the served model sits behind a
+	// ResponseCache (plmserve -cache N). Pointers keep genuine zeros visible
+	// while omitting the fields entirely on cacheless servers.
+	CacheHits      *int64 `json:"cache_hits,omitempty"`
+	CacheMisses    *int64 `json:"cache_misses,omitempty"`
+	CacheEvictions *int64 `json:"cache_evictions,omitempty"`
+	CacheSize      *int   `json:"cache_size,omitempty"`
 }
 
 // Server exposes a plm.Model over HTTP. It implements http.Handler.
@@ -100,7 +107,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Queries:    s.queries.Load(),
 		RoundTrips: s.requests.Load(),
 	}
-	if sh, ok := s.model.(*Shard); ok {
+	model := s.model
+	if rc, ok := model.(*ResponseCache); ok {
+		hits, misses, evictions := rc.CacheStats()
+		size := rc.Len()
+		resp.CacheHits = &hits
+		resp.CacheMisses = &misses
+		resp.CacheEvictions = &evictions
+		resp.CacheSize = &size
+		// The replica breakdown lives behind the cache.
+		model = rc.Inner()
+	}
+	if sh, ok := model.(*Shard); ok {
 		resp.ReplicaQueries = sh.ReplicaQueries()
 	}
 	writeJSON(w, http.StatusOK, resp)

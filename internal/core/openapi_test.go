@@ -454,3 +454,42 @@ func TestPropertyRecoveredModelPredictsLogOdds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// scalarOnly hides a model's batch fast path, forcing plm.PredictAll down
+// the per-instance fallback.
+type scalarOnly struct{ plm.Model }
+
+// TestInterpretBitIdenticalOverBatchedForward pins the PR-3 contract on the
+// interpreter side: OpenAPI's probe batches now ride the model's batched
+// GEMM forward (plm.BatchPredictor on openbox.PLNN), and the recovered
+// interpretation must be bit-identical to the one computed against the same
+// model with the batch path hidden — the fast path is a throughput
+// decision, never a numerics change.
+func TestInterpretBitIdenticalOverBatchedForward(t *testing.T) {
+	model := plnnModel(71, 6, 12, 8, 3)
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 5; trial++ {
+		x := randVec(rng, 6)
+		c := model.Predict(x).ArgMax()
+		// Identical seeds draw identical sample sets; only the predict path
+		// differs.
+		viaBatch, err := New(Config{Seed: 100 + int64(trial)}).Interpret(model, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaScalar, err := New(Config{Seed: 100 + int64(trial)}).Interpret(scalarOnly{model}, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaBatch.Iterations != viaScalar.Iterations || viaBatch.Queries != viaScalar.Queries {
+			t.Fatalf("trial %d: batch path %d iters/%d queries, scalar %d/%d",
+				trial, viaBatch.Iterations, viaBatch.Queries, viaScalar.Iterations, viaScalar.Queries)
+		}
+		for i := range viaScalar.Features {
+			if viaBatch.Features[i] != viaScalar.Features[i] {
+				t.Fatalf("trial %d feature %d: %v != %v (bit-exact)",
+					trial, i, viaBatch.Features[i], viaScalar.Features[i])
+			}
+		}
+	}
+}

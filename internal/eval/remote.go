@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/mat"
+	"repro/internal/openbox"
 	"repro/internal/plm"
 )
 
@@ -108,13 +109,17 @@ func (r remoteRegion) LocalAt(x mat.Vec) (*plm.Linear, error) { return r.white.L
 // real HTTP hop through the adaptive aggregator: the model is served (with
 // the requested replica count), interpreted over the wire, and the usual
 // quality rows come back together with what the run cost in round trips.
+// The white-box side answers its ground-truth LocalAt queries through a
+// region cache — metrics ask per probe and per sample, but the closed form
+// only changes per region.
 func QualityOverAPI(model plm.RegionModel, name string, methods []plm.Interpreter, xs []mat.Vec, replicas int, cfg api.AggregatorConfig) ([]QualityRow, WireStats, error) {
 	bench, err := ServeRemote(model, name, replicas, cfg)
 	if err != nil {
 		return nil, WireStats{}, err
 	}
 	defer bench.Close()
-	rows, err := SampleQuality(remoteRegion{Aggregator: bench.Agg, white: model}, methods, xs)
+	white := openbox.CacheRegionModel(model, 0)
+	rows, err := SampleQuality(remoteRegion{Aggregator: bench.Agg, white: white}, methods, xs)
 	if err != nil {
 		return nil, WireStats{}, err
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/openbox"
 	"repro/internal/plm"
 )
 
@@ -179,6 +180,79 @@ func (e *Extractor) HarvestPool(model plm.Model, probes []mat.Vec, workers int) 
 		return nil, fmt.Errorf("extract: all %d probes failed: %w", len(probes), firstErr)
 	}
 	return s, nil
+}
+
+// HarvestExact builds the surrogate straight from a white-box model — the
+// owner-side export path, with no API probing at all. Probes sharing a
+// locally linear region collapse into one harvested Region: for a PLNN the
+// activation patterns come from the batched GEMM forward and each distinct
+// region's closed form is composed once through the region cache
+// (openbox.RegionCache); other families answer through a RegionKey-keyed
+// cache. The surrogate is exact on every probed region by construction.
+func HarvestExact(model plm.RegionModel, probes []mat.Vec) (*Surrogate, error) {
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("extract: no probes")
+	}
+	for i, p := range probes {
+		if len(p) != model.Dim() {
+			return nil, fmt.Errorf("extract: probe %d length %d != %d", i, len(p), model.Dim())
+		}
+	}
+	var lins []*plm.Linear
+	if p, ok := model.(*openbox.PLNN); ok {
+		// Batched patterns + one composition per distinct region.
+		out, err := p.LocalAtAll(probes)
+		if err != nil {
+			return nil, err
+		}
+		lins = out
+	} else {
+		cached := openbox.CacheRegionModel(model, 0)
+		lins = make([]*plm.Linear, len(probes))
+		for i, probe := range probes {
+			lin, err := cached.LocalAt(probe)
+			if err != nil {
+				return nil, err
+			}
+			lins[i] = lin
+		}
+	}
+	s := &Surrogate{dim: model.Dim(), classes: model.Classes()}
+	seen := make(map[string]bool, len(lins))
+	for i, lin := range lins {
+		key := lin.Key
+		if key == "" {
+			// A family that does not fingerprint its regions still dedupes
+			// within this harvest via pointer identity from the cache.
+			key = fmt.Sprintf("ptr-%p", lin)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s.regions = append(s.regions, regionFromLinear(probes[i], lin))
+	}
+	return s, nil
+}
+
+// regionFromLinear rebases an absolute region classifier (W, b) onto the
+// class-0-relative form a Region stores: RelW[c] = W_c − W_0 and
+// RelB[c] = b_c − b_0, which predict the same distribution by softmax shift
+// invariance.
+func regionFromLinear(probe mat.Vec, lin *plm.Linear) *Region {
+	C := lin.Classes()
+	r := &Region{
+		Probe: probe.Clone(),
+		RelW:  make([]mat.Vec, C),
+		RelB:  make([]float64, C),
+	}
+	w0 := lin.W.RawRow(0)
+	r.RelW[0] = mat.NewVec(lin.Dim())
+	for c := 1; c < C; c++ {
+		r.RelW[c] = lin.W.Row(c).SubInPlace(w0)
+		r.RelB[c] = lin.B[c] - lin.B[0]
+	}
+	return r
 }
 
 // regionFromInterp rebases one interpretation — of any class c* — onto the

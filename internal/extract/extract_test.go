@@ -253,3 +253,76 @@ func TestSurrogateMetadata(t *testing.T) {
 		t.Fatal("metadata wrong")
 	}
 }
+
+// TestHarvestExactWhiteBox exercises the owner-side export path: no API
+// probing, one region per distinct activation pattern, exact predictions on
+// every probe.
+func TestHarvestExactWhiteBox(t *testing.T) {
+	model := plnnModel(31, 6, 12, 8, 4)
+	rng := rand.New(rand.NewSource(32))
+	// 5 distinct base points, each probed 4 times (exact duplicates share a
+	// region by construction).
+	var probes []mat.Vec
+	for i := 0; i < 5; i++ {
+		base := randVec(rng, 6)
+		for r := 0; r < 4; r++ {
+			probes = append(probes, base.Clone())
+		}
+	}
+	s, err := HarvestExact(model, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, p := range probes {
+		distinct[model.RegionKey(p)] = true
+	}
+	if s.NumRegions() != len(distinct) {
+		t.Fatalf("harvested %d regions, want one per distinct region (%d)", s.NumRegions(), len(distinct))
+	}
+	if s.NumRegions() >= len(probes) {
+		t.Fatalf("harvested %d regions from %d clustered probes; dedup failed", s.NumRegions(), len(probes))
+	}
+	for i, p := range probes {
+		want := model.Predict(p)
+		got := s.Predict(p)
+		if !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("probe %d: surrogate %v != model %v", i, got, want)
+		}
+	}
+	fid, err := Verify(s, model, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.LabelAgreement != 1 {
+		t.Fatalf("label agreement %v on probed regions, want 1", fid.LabelAgreement)
+	}
+}
+
+// TestHarvestExactMaxout covers the generic (non-PLNN) white-box path.
+func TestHarvestExactMaxout(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	model := &openbox.Maxout{Net: nn.NewMaxout(rng, 3, 5, 8, 3)}
+	probe := randVec(rng, 5)
+	s, err := HarvestExact(model, []mat.Vec{probe, probe.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != 1 {
+		t.Fatalf("duplicate probes harvested %d regions, want 1", s.NumRegions())
+	}
+	want := model.Predict(probe)
+	if got := s.Predict(probe); !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("surrogate %v != model %v", got, want)
+	}
+}
+
+func TestHarvestExactErrors(t *testing.T) {
+	model := plnnModel(34, 4, 6, 2)
+	if _, err := HarvestExact(model, nil); err == nil {
+		t.Fatal("no probes accepted")
+	}
+	if _, err := HarvestExact(model, []mat.Vec{{1, 2}}); err == nil {
+		t.Fatal("wrong-dimension probe accepted")
+	}
+}

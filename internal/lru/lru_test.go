@@ -1,0 +1,55 @@
+package lru
+
+import "testing"
+
+func TestGetPromotesAndAddEvictsLRU(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	if _, _, evicted := c.Add("c", 3); !evicted {
+		t.Fatal("inserting over capacity did not evict")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived although it was least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d/%v, want 1", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestAddKeepsIncumbent(t *testing.T) {
+	c := New[string](0) // unbounded
+	c.Add("k", "first")
+	kept, inserted, evicted := c.Add("k", "second")
+	if kept != "first" || inserted || evicted {
+		t.Fatalf("Add dup = (%q, %v, %v), want incumbent kept", kept, inserted, evicted)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New[int](0)
+	for i := 0; i < 100; i++ {
+		if _, _, evicted := c.Add(string(rune('a'+i)), i); evicted {
+			t.Fatal("unbounded cache evicted")
+		}
+	}
+	if c.Len() != 100 {
+		t.Fatalf("len %d, want 100", c.Len())
+	}
+}
+
+func TestGetMissingReturnsZero(t *testing.T) {
+	c := New[*int](1)
+	if v, ok := c.Get("nope"); ok || v != nil {
+		t.Fatalf("miss returned (%v, %v)", v, ok)
+	}
+}

@@ -95,3 +95,54 @@ func BenchmarkMulVec_257(b *testing.B) {
 		a.MulVec(x)
 	}
 }
+
+// GEMM kernels (PR 3): the blocked/vectorized Mul-family the batched
+// forward and the closed-form composition chain run on.
+
+func benchGEMMPair(b *testing.B, m, k, n int) (*Dense, *Dense) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	return randDense(rng, m, k), randDense(rng, k, n)
+}
+
+func BenchmarkMul_256x784x256(b *testing.B) {
+	x, w := benchGEMMPair(b, 256, 784, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(w)
+	}
+}
+
+func BenchmarkMulBT_256x784x256(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x := randDense(rng, 256, 784)
+	w := randDense(rng, 256, 784) // batched layer forward shape: X · Wᵀ
+	dst := NewDense(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MulBTInto(w, dst)
+	}
+}
+
+// BenchmarkMulNaive_256x784x256 is the pre-PR-3 triple loop, kept as the
+// baseline the blocked kernel is measured against.
+func BenchmarkMulNaive_256x784x256(b *testing.B) {
+	x, w := benchGEMMPair(b, 256, 784, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := NewDense(x.Rows(), w.Cols())
+		for r := 0; r < x.Rows(); r++ {
+			orow := out.RawRow(r)
+			for t := 0; t < x.Cols(); t++ {
+				a := x.At(r, t)
+				if a == 0 {
+					continue
+				}
+				brow := w.RawRow(t)
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
+			}
+		}
+	}
+}

@@ -183,26 +183,15 @@ func (m *Dense) MulVecT(x Vec) Vec {
 	return out
 }
 
-// Mul returns m * b.
+// Mul returns m * b. The product runs on the blocked kernel in gemm.go:
+// every output element is one ascending-k dot product with a single
+// accumulator, so results match the naive triple loop bit for bit.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := NewDense(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		arow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
-	return out
+	return m.MulInto(b, out)
 }
 
 // Add returns m + b as a new matrix.

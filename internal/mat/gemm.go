@@ -1,0 +1,312 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file holds the blocked GEMM kernels behind Mul, MulInto, MulBT and
+// MulBTInto. The naive triple loop evaluates every output element as one
+// serial dot product, so throughput is bound by the floating-point add
+// latency of the single accumulator chain. The kernels below tile the output
+// into 4x2 register blocks: eight accumulators advance through the shared
+// k dimension together, hiding the add latency behind independent chains and
+// loading every A and B row once per tile instead of once per element.
+//
+// Crucially, each output element still owns exactly one accumulator that
+// sums its products in ascending-k order — the same order MulVec and the
+// naive loop use — so the blocked results are bit-identical to the scalar
+// path. The blocking changes which elements make progress concurrently,
+// never the order of operations within one element.
+
+// gemmWorkers caps the goroutines a single large multiply may fan out to.
+// It defaults to GOMAXPROCS; SetWorkers(1) forces serial execution. Every
+// partition is a contiguous block of output rows, each written by exactly
+// one goroutine, so the result is bit-identical for any worker count.
+var gemmWorkers = struct {
+	sync.Mutex
+	n int
+}{n: 0} // 0 = resolve GOMAXPROCS at call time
+
+// SetWorkers sets the maximum number of goroutines one matrix multiply may
+// use (n <= 0 restores the default, GOMAXPROCS). It returns the previous
+// setting. Results are identical for every worker count.
+func SetWorkers(n int) int {
+	gemmWorkers.Lock()
+	defer gemmWorkers.Unlock()
+	prev := gemmWorkers.n
+	gemmWorkers.n = n
+	return prev
+}
+
+func workers() int {
+	gemmWorkers.Lock()
+	n := gemmWorkers.n
+	gemmWorkers.Unlock()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// parallelFlopCutoff is the approximate multiply-add count below which
+// spawning goroutines costs more than it buys.
+const parallelFlopCutoff = 1 << 18
+
+// scratch pools the transposed-B buffers MulInto needs, so composition
+// chains that multiply in a loop stop hammering the allocator.
+var scratchPool = sync.Pool{New: func() any { s := make([]float64, 0); return &s }}
+
+func getScratch(n int) *[]float64 {
+	s := scratchPool.Get().(*[]float64)
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+func putScratch(s *[]float64) { scratchPool.Put(s) }
+
+// MulVecInto computes dst = m * x without allocating; dst must have length
+// m.Rows() and must not alias x. It returns dst. Results are bit-identical
+// to MulVec.
+func (m *Dense) MulVecInto(x, dst Vec) Vec {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVecInto length %d != cols %d", len(x), m.cols))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecInto dst length %d != rows %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulBT returns m * bᵀ as a new matrix: out[i][j] = Σ_k m[i][k]·b[j][k].
+// Both operands are walked along contiguous rows, which makes this the
+// natural kernel for batched layer forwards (X · Wᵀ).
+func (m *Dense) MulBT(b *Dense) *Dense {
+	out := NewDense(m.rows, b.rows)
+	m.MulBTInto(b, out)
+	return out
+}
+
+// MulBTInto computes dst = m * bᵀ into dst, which must be m.Rows() by
+// b.Rows() and must not alias m or b. It returns dst.
+func (m *Dense) MulBTInto(b, dst *Dense) *Dense {
+	if m.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulBT %dx%d by (%dx%d)ᵀ", m.rows, m.cols, b.rows, b.cols))
+	}
+	if dst.rows != m.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulBTInto dst %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, b.rows))
+	}
+	checkNoAlias("MulBTInto", dst, m, b)
+	flops := m.rows * m.cols * b.rows
+	if w := workers(); w > 1 && flops >= parallelFlopCutoff && m.rows > 1 {
+		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, b, lo, hi) })
+	} else {
+		gemmBT(dst, m, b, 0, m.rows)
+	}
+	return dst
+}
+
+// MulInto computes dst = m * b into dst, which must be m.Rows() by b.Cols()
+// and must not alias m or b. It returns dst. B is packed transposed into a
+// pooled scratch buffer so the inner kernel runs on contiguous rows.
+func (m *Dense) MulInto(b, dst *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	if dst.rows != m.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto dst %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, b.cols))
+	}
+	checkNoAlias("MulInto", dst, m, b)
+	sp := getScratch(b.rows * b.cols)
+	bt := Dense{rows: b.cols, cols: b.rows, data: *sp}
+	for i := 0; i < b.rows; i++ {
+		row := b.data[i*b.cols : (i+1)*b.cols]
+		for j, v := range row {
+			bt.data[j*bt.cols+i] = v
+		}
+	}
+	flops := m.rows * m.cols * b.cols
+	if w := workers(); w > 1 && flops >= parallelFlopCutoff && m.rows > 1 {
+		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, &bt, lo, hi) })
+	} else {
+		gemmBT(dst, m, &bt, 0, m.rows)
+	}
+	putScratch(sp)
+	return dst
+}
+
+// checkNoAlias panics when dst shares backing storage with an operand;
+// the kernels write dst while still reading the operands.
+func checkNoAlias(op string, dst *Dense, operands ...*Dense) {
+	if len(dst.data) == 0 {
+		return
+	}
+	for _, o := range operands {
+		if len(o.data) > 0 && &o.data[0] == &dst.data[0] {
+			panic("mat: " + op + " dst aliases an operand")
+		}
+	}
+}
+
+// parallelRows splits [0, rows) into one contiguous span per worker and runs
+// work on each concurrently. Spans are aligned to the 4-row register tile so
+// every tile stays within one worker.
+func parallelRows(rows, w int, work func(lo, hi int)) {
+	if w > rows {
+		w = rows
+	}
+	per := (rows + w - 1) / w
+	per = (per + 3) &^ 3 // align spans to the 4-row tile
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += per {
+		hi := lo + per
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmBT fills dst rows [i0, i1) with a · bᵀ. On AVX2-capable amd64 the
+// 4-row blocks run on the packed vector microkernel (four instances per
+// vector lane, four B-row accumulator chains); elsewhere they run on the
+// pure-Go 4x2 register tiles. Both schedules evaluate every output element
+// as one ascending-k mul-then-add chain, so the bits match everywhere.
+func gemmBT(dst, a, b *Dense, i0, i1 int) {
+	k := a.cols
+	n := b.rows
+	i := i0
+	if useAVX2 && k > 0 && n > 0 {
+		sp := getScratch(4 * k)
+		pack := (*sp)[:4*k]
+		var out [16]float64
+		for ; i+4 <= i1; i += 4 {
+			packFourRows(pack, a, i)
+			d0 := dst.data[(i+0)*dst.cols : (i+0)*dst.cols+dst.cols]
+			d1 := dst.data[(i+1)*dst.cols : (i+1)*dst.cols+dst.cols]
+			d2 := dst.data[(i+2)*dst.cols : (i+2)*dst.cols+dst.cols]
+			d3 := dst.data[(i+3)*dst.cols : (i+3)*dst.cols+dst.cols]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				dotPack4x4(&pack[0],
+					&b.data[(j+0)*k], &b.data[(j+1)*k], &b.data[(j+2)*k], &b.data[(j+3)*k],
+					k, &out)
+				d0[j], d0[j+1], d0[j+2], d0[j+3] = out[0], out[4], out[8], out[12]
+				d1[j], d1[j+1], d1[j+2], d1[j+3] = out[1], out[5], out[9], out[13]
+				d2[j], d2[j+1], d2[j+2], d2[j+3] = out[2], out[6], out[10], out[14]
+				d3[j], d3[j+1], d3[j+2], d3[j+3] = out[3], out[7], out[11], out[15]
+			}
+			for ; j < n; j++ {
+				br := b.data[j*k : j*k+k]
+				var s0, s1, s2, s3 float64
+				for t, bv := range br {
+					p := pack[4*t : 4*t+4 : 4*t+4]
+					s0 += p[0] * bv
+					s1 += p[1] * bv
+					s2 += p[2] * bv
+					s3 += p[3] * bv
+				}
+				d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
+			}
+		}
+		putScratch(sp)
+	}
+	for ; i+4 <= i1; i += 4 {
+		a0 := a.data[(i+0)*k : (i+0)*k+k]
+		a1 := a.data[(i+1)*k : (i+1)*k+k]
+		a2 := a.data[(i+2)*k : (i+2)*k+k]
+		a3 := a.data[(i+3)*k : (i+3)*k+k]
+		d0 := dst.data[(i+0)*dst.cols : (i+0)*dst.cols+dst.cols]
+		d1 := dst.data[(i+1)*dst.cols : (i+1)*dst.cols+dst.cols]
+		d2 := dst.data[(i+2)*dst.cols : (i+2)*dst.cols+dst.cols]
+		d3 := dst.data[(i+3)*dst.cols : (i+3)*dst.cols+dst.cols]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := b.data[(j+0)*k : (j+0)*k+k]
+			// Reslicing every operand to len(b0) lets the compiler drop the
+			// bounds checks in the hot loop below.
+			b1 := b.data[(j+1)*k : (j+1)*k+k][:len(b0)]
+			x0, x1, x2, x3 := a0[:len(b0)], a1[:len(b0)], a2[:len(b0)], a3[:len(b0)]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			for t, bv0 := range b0 {
+				bv1 := b1[t]
+				av := x0[t]
+				s00 += av * bv0
+				s01 += av * bv1
+				av = x1[t]
+				s10 += av * bv0
+				s11 += av * bv1
+				av = x2[t]
+				s20 += av * bv0
+				s21 += av * bv1
+				av = x3[t]
+				s30 += av * bv0
+				s31 += av * bv1
+			}
+			d0[j], d0[j+1] = s00, s01
+			d1[j], d1[j+1] = s10, s11
+			d2[j], d2[j+1] = s20, s21
+			d3[j], d3[j+1] = s30, s31
+		}
+		if j < n {
+			b0 := b.data[j*k : j*k+k]
+			x0, x1, x2, x3 := a0[:len(b0)], a1[:len(b0)], a2[:len(b0)], a3[:len(b0)]
+			var s0, s1, s2, s3 float64
+			for t, bv := range b0 {
+				s0 += x0[t] * bv
+				s1 += x1[t] * bv
+				s2 += x2[t] * bv
+				s3 += x3[t] * bv
+			}
+			d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
+		}
+	}
+	for ; i < i1; i++ {
+		ar := a.data[i*k : i*k+k]
+		drow := dst.data[i*dst.cols : i*dst.cols+dst.cols]
+		for j := 0; j < n; j++ {
+			br := b.data[j*k : j*k+k]
+			x := ar[:len(br)]
+			var s float64
+			for t, bv := range br {
+				s += x[t] * bv
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// packFourRows interleaves rows i..i+3 of a feature-major: pack[4t+l] =
+// a[i+l][t], the layout the vector microkernel consumes with one load per
+// shared k step.
+func packFourRows(pack []float64, a *Dense, i int) {
+	k := a.cols
+	a0 := a.data[(i+0)*k : (i+0)*k+k]
+	a1 := a.data[(i+1)*k : (i+1)*k+k][:k]
+	a2 := a.data[(i+2)*k : (i+2)*k+k][:k]
+	a3 := a.data[(i+3)*k : (i+3)*k+k][:k]
+	for t, v := range a0 {
+		p := pack[4*t : 4*t+4 : 4*t+4]
+		p[0] = v
+		p[1] = a1[t]
+		p[2] = a2[t]
+		p[3] = a3[t]
+	}
+}

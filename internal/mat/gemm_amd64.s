@@ -1,0 +1,80 @@
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// Leaf 1 ECX: OSXSAVE (bit 27) and AVX (bit 28); XGETBV xcr0 must have the
+// x87+SSE+AVX state bits (0x6) OS-enabled; leaf 7 EBX bit 5 is AVX2.
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ   no
+	TESTL $(1<<28), CX // AVX
+	JZ   no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64)
+//
+// Four simultaneous 4-lane dot products: pack interleaves four A rows
+// (pack[4t+l] = A[i+l][t]), each Y accumulator carries one B row's running
+// sums for all four A rows. Every lane performs mul-then-add in ascending-t
+// order — the same two roundings, in the same order, as the scalar path —
+// so results are bit-identical to naive dot products. No FMA on purpose:
+// fused multiply-add rounds once and would diverge from the scalar kernel.
+TEXT ·dotPack4x4(SB), NOSPLIT, $0-56
+	MOVQ pack+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ k+40(FP), CX
+	MOVQ out+48(FP), DI
+	VXORPD Y0, Y0, Y0 // acc for b0
+	VXORPD Y1, Y1, Y1 // acc for b1
+	VXORPD Y2, Y2, Y2 // acc for b2
+	VXORPD Y3, Y3, Y3 // acc for b3
+	XORQ AX, AX       // t
+loop:
+	CMPQ AX, CX
+	JGE  done
+	MOVQ AX, DX
+	SHLQ $5, DX                 // 32*t: pack stride is 4 float64
+	VMOVUPD (SI)(DX*1), Y4      // [A[i][t] A[i+1][t] A[i+2][t] A[i+3][t]]
+	MOVQ AX, BX
+	SHLQ $3, BX                 // 8*t
+	VBROADCASTSD (R8)(BX*1), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VBROADCASTSD (R9)(BX*1), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y1, Y1
+	VBROADCASTSD (R10)(BX*1), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y2, Y2
+	VBROADCASTSD (R11)(BX*1), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y3, Y3
+	INCQ AX
+	JMP  loop
+done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+package mat
+
+// cpuHasAVX2 reports whether the CPU and OS support AVX2 execution.
+// Implemented in gemm_amd64.s.
+func cpuHasAVX2() bool
+
+// dotPack4x4 computes four 4-lane dot products over a shared k dimension:
+// out[4j+l] = Σ_t pack[4t+l]·bj[t]. Implemented in gemm_amd64.s with AVX2
+// mul-then-add per lane, bit-identical to scalar evaluation. Callers must
+// have checked useAVX2 and k > 0.
+func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64)
+
+// useAVX2 gates the vector microkernel; resolved once at startup.
+var useAVX2 = cpuHasAVX2()

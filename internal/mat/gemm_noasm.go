@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package mat
+
+// useAVX2 is always false without the amd64 microkernel; gemmBT falls back
+// to the pure-Go register-tiled path, which computes identical bits.
+const useAVX2 = false
+
+func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64) {
+	panic("mat: dotPack4x4 without asm support")
+}

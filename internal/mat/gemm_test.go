@@ -1,0 +1,134 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMul is the reference triple loop: one ascending-k dot product per
+// output element, the order the blocked kernel must reproduce exactly.
+func naiveMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float64
+			for k := 0; k < a.Cols(); k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func bitEqual(t *testing.T, got, want *Dense, label string) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < got.Rows(); i++ {
+		for j := 0; j < got.Cols(); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("%s: (%d,%d) = %v, want %v (bit-exact)", label, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestMulBitIdenticalToNaive sweeps shapes across every register-tile tail
+// case (rows mod 4, cols mod 2, including zero-sized dimensions).
+func TestMulBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9} {
+		for _, k := range []int{0, 1, 3, 8, 17} {
+			for _, c := range []int{0, 1, 2, 3, 5, 6} {
+				a := randDense(rng, r, k)
+				b := randDense(rng, k, c)
+				bitEqual(t, a.Mul(b), naiveMul(a, b), "Mul")
+			}
+		}
+	}
+}
+
+func TestMulIntoMatchesMulWithoutAllocatingDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randDense(rng, 13, 9)
+	b := randDense(rng, 9, 11)
+	dst := NewDense(13, 11)
+	dst.RawRow(0)[0] = 42 // stale garbage must be overwritten
+	got := a.MulInto(b, dst)
+	if got != dst {
+		t.Fatal("MulInto did not return dst")
+	}
+	bitEqual(t, dst, a.Mul(b), "MulInto")
+}
+
+func TestMulBTMatchesMulOfTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range [][3]int{{6, 5, 4}, {1, 1, 1}, {9, 17, 3}, {4, 8, 2}} {
+		a := randDense(rng, shape[0], shape[1])
+		b := randDense(rng, shape[2], shape[1]) // b is n x k; MulBT computes a·bᵀ
+		bitEqual(t, a.MulBT(b), a.Mul(b.T()), "MulBT")
+	}
+}
+
+func TestMulVecIntoBitIdenticalToMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := randDense(rng, 7, 12)
+	x := make(Vec, 12)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make(Vec, 7)
+	m.MulVecInto(x, dst)
+	want := m.MulVec(x)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulWorkerCountDoesNotChangeBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Big enough to clear the parallel cutoff.
+	a := randDense(rng, 129, 130)
+	b := randDense(rng, 130, 37)
+
+	prev := SetWorkers(1)
+	serial := a.Mul(b)
+	SetWorkers(4)
+	parallel := a.Mul(b)
+	parallelBT := a.MulBT(b.T())
+	SetWorkers(prev)
+
+	bitEqual(t, parallel, serial, "workers=4 vs workers=1")
+	bitEqual(t, parallelBT, serial, "MulBT workers=4 vs workers=1")
+}
+
+func TestMulIntoRejectsAliasedDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randDense(rng, 4, 4)
+	b := randDense(rng, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on aliased dst")
+		}
+	}()
+	a.MulInto(b, a)
+}
+
+func TestMulIntoShapePanics(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 4)
+	for _, dst := range []*Dense{NewDense(2, 3), NewDense(3, 4), NewDense(0, 0)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for dst %dx%d", dst.Rows(), dst.Cols())
+				}
+			}()
+			a.MulInto(b, dst)
+		}()
+	}
+}

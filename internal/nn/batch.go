@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// This file holds the batched compute fast path: an entire batch of inputs
+// is forwarded as one matrix-matrix product per layer (X · Wᵀ, both operands
+// walked along contiguous rows) instead of one matrix-vector product per
+// instance per layer. Every logit is still the same ascending-k dot product
+// plus bias the scalar path computes, so batched outputs are bit-identical
+// to per-instance Logits/Predict — the batching buys independent
+// floating-point chains and O(layers) allocations per batch, not different
+// arithmetic.
+
+// stackBatch copies xs into a len(xs)-by-dim matrix, validating every row.
+func stackBatch(xs []mat.Vec, dim int, what string) *mat.Dense {
+	m := mat.NewDense(len(xs), dim)
+	for i, x := range xs {
+		if len(x) != dim {
+			panic(fmt.Sprintf("nn: %s batch item %d length %d != %d", what, i, len(x), dim))
+		}
+		m.SetRow(i, x)
+	}
+	return m
+}
+
+// addBiasRows adds b to every row of z.
+func addBiasRows(z *mat.Dense, b mat.Vec) {
+	for i := 0; i < z.Rows(); i++ {
+		z.RawRow(i).AddInPlace(b)
+	}
+}
+
+// forwardBatch pushes the whole batch through the network, one GEMM per
+// layer. When wantMasks is true it also records each instance's concatenated
+// hidden-layer activity mask (the activation pattern indexing its locally
+// linear region). The returned matrix holds one row of logits per instance.
+func (n *Network) forwardBatch(xs []mat.Vec, wantMasks bool) (*mat.Dense, [][]bool) {
+	B := len(xs)
+	var masks [][]bool
+	if wantMasks {
+		hidden := 0
+		for _, h := range n.HiddenSizes() {
+			hidden += h
+		}
+		masks = make([][]bool, B)
+		for i := range masks {
+			masks[i] = make([]bool, 0, hidden)
+		}
+	}
+	cur := stackBatch(xs, n.InputDim(), "forward")
+	for li, l := range n.layers {
+		z := mat.NewDense(B, l.Out())
+		cur.MulBTInto(l.W, z)
+		addBiasRows(z, l.B)
+		if li < len(n.layers)-1 {
+			leak := n.leak
+			for i := 0; i < B; i++ {
+				row := z.RawRow(i)
+				if wantMasks {
+					for _, v := range row {
+						masks[i] = append(masks[i], v > 0)
+					}
+				}
+				for j, v := range row {
+					if v <= 0 {
+						row[j] = leak * v
+					}
+				}
+			}
+		}
+		cur = z
+	}
+	return cur, masks
+}
+
+// LogitsBatch returns the raw pre-softmax scores of every input, computed
+// with one GEMM per layer. Each returned vector is bit-identical to
+// Logits(xs[i]); the rows alias one freshly allocated backing matrix.
+func (n *Network) LogitsBatch(xs []mat.Vec) []mat.Vec {
+	if len(xs) == 0 {
+		return nil
+	}
+	z, _ := n.forwardBatch(xs, false)
+	out := make([]mat.Vec, len(xs))
+	for i := range out {
+		out[i] = z.RawRow(i)
+	}
+	return out
+}
+
+// PredictBatch returns the softmax class probabilities of every input —
+// bit-identical to calling Predict per instance, at one GEMM per layer.
+func (n *Network) PredictBatch(xs []mat.Vec) []mat.Vec {
+	logits := n.LogitsBatch(xs)
+	out := make([]mat.Vec, len(logits))
+	for i, z := range logits {
+		out[i] = Softmax(z)
+	}
+	return out
+}
+
+// ActivationPatternBatch returns every input's activation pattern (the
+// concatenated hidden-layer ReLU masks), identical to per-instance
+// ActivationPattern but computed via the batched forward.
+func (n *Network) ActivationPatternBatch(xs []mat.Vec) [][]bool {
+	if len(xs) == 0 {
+		return nil
+	}
+	_, masks := n.forwardBatch(xs, true)
+	return masks
+}
+
+// LogitsBatch is the MaxoutNetwork batched forward: per hidden layer, each
+// affine piece is one GEMM over the whole batch and the elementwise max is
+// taken across the piece outputs, first-piece-wins on ties exactly like the
+// scalar forward. Outputs are bit-identical to per-instance Logits.
+func (n *MaxoutNetwork) LogitsBatch(xs []mat.Vec) []mat.Vec {
+	if len(xs) == 0 {
+		return nil
+	}
+	z, _ := n.forwardBatchMaxout(xs, false)
+	out := make([]mat.Vec, len(xs))
+	for i := range out {
+		out[i] = z.RawRow(i)
+	}
+	return out
+}
+
+// PredictBatch returns softmax probabilities for every input, bit-identical
+// to per-instance Predict.
+func (n *MaxoutNetwork) PredictBatch(xs []mat.Vec) []mat.Vec {
+	logits := n.LogitsBatch(xs)
+	out := make([]mat.Vec, len(logits))
+	for i, z := range logits {
+		out[i] = Softmax(z)
+	}
+	return out
+}
+
+// WinnerPatternBatch returns every input's winner pattern (which piece wins
+// at each hidden unit), identical to per-instance WinnerPattern.
+func (n *MaxoutNetwork) WinnerPatternBatch(xs []mat.Vec) [][]int {
+	if len(xs) == 0 {
+		return nil
+	}
+	_, winners := n.forwardBatchMaxout(xs, true)
+	return winners
+}
+
+// forwardBatchMaxout runs the batch through all hidden MaxOut layers and the
+// linear read-out. When wantWinners is true it records each instance's
+// concatenated winning-piece indices.
+func (n *MaxoutNetwork) forwardBatchMaxout(xs []mat.Vec, wantWinners bool) (*mat.Dense, [][]int) {
+	B := len(xs)
+	var winners [][]int
+	if wantWinners {
+		total := 0
+		for _, l := range n.hidden {
+			total += l.Out()
+		}
+		winners = make([][]int, B)
+		for i := range winners {
+			winners[i] = make([]int, 0, total)
+		}
+	}
+	cur := stackBatch(xs, n.InputDim(), "maxout forward")
+	for _, l := range n.hidden {
+		// One GEMM per piece over the whole batch.
+		outs := make([]*mat.Dense, l.K())
+		for p, piece := range l.Pieces {
+			zp := mat.NewDense(B, l.Out())
+			cur.MulBTInto(piece.W, zp)
+			addBiasRows(zp, piece.B)
+			outs[p] = zp
+		}
+		h := mat.NewDense(B, l.Out())
+		for i := 0; i < B; i++ {
+			hrow := h.RawRow(i)
+			best := outs[0].RawRow(i)
+			if !wantWinners {
+				copy(hrow, best)
+				for p := 1; p < l.K(); p++ {
+					prow := outs[p].RawRow(i)
+					for j, v := range prow {
+						if v > hrow[j] {
+							hrow[j] = v
+						}
+					}
+				}
+				continue
+			}
+			win := make([]int, l.Out())
+			copy(hrow, best)
+			for p := 1; p < l.K(); p++ {
+				prow := outs[p].RawRow(i)
+				for j, v := range prow {
+					if v > hrow[j] {
+						hrow[j] = v
+						win[j] = p
+					}
+				}
+			}
+			winners[i] = append(winners[i], win...)
+		}
+		cur = h
+	}
+	z := mat.NewDense(B, n.out.Out())
+	cur.MulBTInto(n.out.W, z)
+	addBiasRows(z, n.out.B)
+	return z, winners
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func randBatch(rng *rand.Rand, n, d int) []mat.Vec {
+	xs := make([]mat.Vec, n)
+	for i := range xs {
+		x := make(mat.Vec, d)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func requireBitEqualVecs(t *testing.T, got, want []mat.Vec, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s[%d]: length %d, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s[%d][%d] = %v, want %v (bit-exact)", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestLogitsBatchBitIdentical covers plain ReLU and Leaky ReLU networks:
+// the batched GEMM forward must reproduce the scalar path bit for bit.
+func TestLogitsBatchBitIdentical(t *testing.T) {
+	for _, leak := range []float64{0, 0.05} {
+		rng := rand.New(rand.NewSource(21))
+		n := New(rng, 9, 16, 11, 4).SetLeak(leak)
+		xs := randBatch(rng, 33, 9) // odd size exercises the 4-row tile tail
+		want := make([]mat.Vec, len(xs))
+		for i, x := range xs {
+			want[i] = n.Logits(x)
+		}
+		requireBitEqualVecs(t, n.LogitsBatch(xs), want, "LogitsBatch")
+
+		wantP := make([]mat.Vec, len(xs))
+		for i, x := range xs {
+			wantP[i] = n.Predict(x)
+		}
+		requireBitEqualVecs(t, n.PredictBatch(xs), wantP, "PredictBatch")
+	}
+}
+
+func TestMaxoutLogitsBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := NewMaxout(rng, 3, 7, 10, 8, 3)
+	xs := randBatch(rng, 19, 7)
+	want := make([]mat.Vec, len(xs))
+	for i, x := range xs {
+		want[i] = n.Logits(x)
+	}
+	requireBitEqualVecs(t, n.LogitsBatch(xs), want, "Maxout LogitsBatch")
+
+	wantP := make([]mat.Vec, len(xs))
+	for i, x := range xs {
+		wantP[i] = n.Predict(x)
+	}
+	requireBitEqualVecs(t, n.PredictBatch(xs), wantP, "Maxout PredictBatch")
+}
+
+func TestActivationPatternBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := New(rng, 6, 12, 9, 3).SetLeak(0.01)
+	xs := randBatch(rng, 17, 6)
+	got := n.ActivationPatternBatch(xs)
+	for i, x := range xs {
+		want := n.ActivationPattern(x)
+		if len(got[i]) != len(want) {
+			t.Fatalf("pattern %d: length %d, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("pattern %d bit %d: %v, want %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestWinnerPatternBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := NewMaxout(rng, 4, 5, 8, 6, 2)
+	xs := randBatch(rng, 9, 5)
+	got := n.WinnerPatternBatch(xs)
+	for i, x := range xs {
+		want := n.WinnerPattern(x)
+		if len(got[i]) != len(want) {
+			t.Fatalf("winners %d: length %d, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("winners %d unit %d: %d, want %d", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestBatchEmptyAndShapePanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := New(rng, 4, 6, 2)
+	if got := n.LogitsBatch(nil); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged batch")
+		}
+	}()
+	n.LogitsBatch([]mat.Vec{{1, 2, 3, 4}, {1, 2}})
+}
+
+// TestActivateInPlace pins the satellite fix: activate must transform its
+// argument in place (no fresh allocation), and forward must still preserve
+// the pre-activations that backprop and activation patterns read.
+func TestActivateInPlace(t *testing.T) {
+	n := &Network{leak: 0.5}
+	z := mat.Vec{2, -2}
+	out := n.activate(z)
+	if &out[0] != &z[0] {
+		t.Fatal("activate allocated a new slice; must work in place")
+	}
+	if z[0] != 2 || z[1] != -1 {
+		t.Fatalf("activate gave %v, want [2 -1]", z)
+	}
+}
+
+func TestForwardPreservesPreActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	n := New(rng, 5, 8, 3)
+	x := randBatch(rng, 1, 5)[0]
+	st := n.forward(x)
+	// st.z[0] must be pre-activations: at least one strictly negative entry
+	// should survive for a random net, and st.a[1] must be its ReLU.
+	for j, v := range st.z[0] {
+		want := v
+		if v <= 0 {
+			want = n.leak * v
+		}
+		if st.a[1][j] != want {
+			t.Fatalf("a[1][%d] = %v, want activate(z[0][%d]) = %v", j, st.a[1][j], j, want)
+		}
+	}
+}

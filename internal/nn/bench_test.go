@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// The PR-3 headline benchmarks: a 256-instance server-side batch forward
+// through the paper's image architecture (784-256-128-100-10), batched GEMM
+// versus the per-instance loop the server ran before. Outputs are
+// bit-identical; only the schedule differs.
+
+const benchBatch = 256
+
+func benchNetAndBatch(b *testing.B) (*Network, []mat.Vec) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	n := New(rng, 784, 256, 128, 100, 10)
+	xs := randBatch(rng, benchBatch, 784)
+	return n, xs
+}
+
+func BenchmarkLogitsLoop256(b *testing.B) {
+	n, xs := benchNetAndBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			_ = n.Logits(x)
+		}
+	}
+}
+
+func BenchmarkLogitsBatch256(b *testing.B) {
+	n, xs := benchNetAndBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.LogitsBatch(xs)
+	}
+}
+
+func BenchmarkPredictLoop256(b *testing.B) {
+	n, xs := benchNetAndBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			_ = n.Predict(x)
+		}
+	}
+}
+
+func BenchmarkPredictBatch256(b *testing.B) {
+	n, xs := benchNetAndBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.PredictBatch(xs)
+	}
+}
+
+func BenchmarkMaxoutLogitsBatch64(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	n := NewMaxout(rng, 3, 128, 64, 32, 10)
+	xs := randBatch(rng, 64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.LogitsBatch(xs)
+	}
+}
+
+func BenchmarkMaxoutLogitsLoop64(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	n := NewMaxout(rng, 3, 128, 64, 32, 10)
+	xs := randBatch(rng, 64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			_ = n.Logits(x)
+		}
+	}
+}

@@ -49,17 +49,18 @@ func (n *Network) SetLeak(alpha float64) *Network {
 // Leak returns the configured negative-side slope.
 func (n *Network) Leak() float64 { return n.leak }
 
-// activate applies the hidden nonlinearity in place given pre-activations.
+// activate applies the hidden nonlinearity in place given pre-activations,
+// overwriting z, and returns z. Callers that need the pre-activations later
+// (backprop, activation patterns) must pass a copy.
 func (n *Network) activate(z mat.Vec) mat.Vec {
-	out := make(mat.Vec, len(z))
 	for i, v := range z {
 		if v > 0 {
-			out[i] = v
+			z[i] = v
 		} else {
-			out[i] = n.leak * v
+			z[i] = n.leak * v
 		}
 	}
-	return out
+	return z
 }
 
 // New builds a network with the given layer widths (input first, classes
@@ -125,6 +126,12 @@ func (n *Network) Layer(i int) Layer {
 	return Layer{W: l.W.Clone(), B: l.B.Clone()}
 }
 
+// LayerShared returns layer i sharing the network's parameter storage —
+// no copy. Callers must treat the result as read-only; it exists so hot
+// paths (the closed-form composition chain) stop cloning whole weight
+// matrices per access.
+func (n *Network) LayerShared(i int) Layer { return n.layers[i] }
+
 // HiddenSizes returns the widths of the hidden layers.
 func (n *Network) HiddenSizes() []int {
 	out := make([]int, 0, len(n.layers)-1)
@@ -165,7 +172,9 @@ func (n *Network) forward(x mat.Vec) forwardState {
 		z := l.W.MulVec(cur).AddInPlace(l.B)
 		st.z[i] = z
 		if i < len(n.layers)-1 {
-			cur = n.activate(z)
+			// activate works in place; st.z must keep the pre-activations
+			// for backprop and activation patterns, so hand it a copy.
+			cur = n.activate(z.Clone())
 		} else {
 			cur = z
 		}

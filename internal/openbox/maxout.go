@@ -17,9 +17,21 @@ type Maxout struct {
 }
 
 var _ plm.RegionModel = (*Maxout)(nil)
+var _ plm.BatchPredictor = (*Maxout)(nil)
 
 // Predict returns softmax class probabilities.
 func (m *Maxout) Predict(x mat.Vec) mat.Vec { return m.Net.Predict(x) }
+
+// PredictBatch answers the whole batch with one GEMM per affine piece per
+// layer — bit-identical to per-instance Predict.
+func (m *Maxout) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	for i, x := range xs {
+		if len(x) != m.Net.InputDim() {
+			return nil, fmt.Errorf("openbox: maxout batch item %d length %d != %d", i, len(x), m.Net.InputDim())
+		}
+	}
+	return m.Net.PredictBatch(xs), nil
+}
 
 // Dim returns the input dimensionality.
 func (m *Maxout) Dim() int { return m.Net.InputDim() }

@@ -20,41 +20,63 @@ import (
 )
 
 // Extract folds the network's layers at x into the affine map of the
-// locally linear region containing x.
+// locally linear region containing x: the activation pattern at x selects
+// the region, composeFromPattern folds the layers. Results are shared
+// per-pattern by RegionCache, so callers must treat the returned Linear as
+// read-only (every consumer in this repository does).
 func Extract(n *nn.Network, x mat.Vec) (*plm.Linear, error) {
 	if len(x) != n.InputDim() {
 		return nil, fmt.Errorf("openbox: input length %d != %d", len(x), n.InputDim())
 	}
-	d := n.InputDim()
-	// Effective map starts as the identity: cur = I x + 0.
-	curW := mat.Identity(d)
-	curB := mat.NewVec(d)
-	var pattern []bool
+	return composeFromPattern(n, n.ActivationPattern(x))
+}
 
-	// For a Leaky/Parametric ReLU network the inactive side multiplies by
-	// the negative slope instead of zeroing — still piecewise linear, same
-	// region structure.
+// composeFromPattern folds the network's layers into the closed-form affine
+// map (W_eff, b_eff) of the region a full activation pattern selects. The
+// chain starts from layer 0's parameters directly (composing with the
+// identity would only burn a d-cubed GEMM) and runs every later layer as one
+// W_l · curW product on the blocked kernel.
+//
+// For a Leaky/Parametric ReLU network the inactive side multiplies by the
+// negative slope instead of zeroing — still piecewise linear, same region
+// structure.
+func composeFromPattern(n *nn.Network, pattern []bool) (*plm.Linear, error) {
+	L := n.NumLayers()
+	total := 0
+	for _, h := range n.HiddenSizes() {
+		total += h
+	}
+	if len(pattern) != total {
+		return nil, fmt.Errorf("openbox: pattern length %d != %d hidden units", len(pattern), total)
+	}
 	leak := n.Leak()
-	cur := x.Clone()
-	for li := 0; li < n.NumLayers(); li++ {
-		l := n.Layer(li)
+	l0 := n.LayerShared(0)
+	curW := l0.W.Clone()
+	curB := l0.B.Clone()
+	off := 0
+	applyMask := func(w *mat.Dense, b mat.Vec, width int) {
+		mask := pattern[off : off+width]
+		off += width
+		for r, active := range mask {
+			if active {
+				continue
+			}
+			w.RawRow(r).ScaleInPlace(leak)
+			b[r] *= leak
+		}
+	}
+	if L > 1 {
+		applyMask(curW, curB, l0.Out())
+	}
+	for li := 1; li < L; li++ {
+		l := n.LayerShared(li)
 		// Affine composition: z = W_l (curW x + curB) + B_l.
 		nextW := l.W.Mul(curW)
 		nextB := l.W.MulVec(curB).AddInPlace(l.B)
-		z := l.W.MulVec(cur).AddInPlace(l.B)
-		if li < n.NumLayers()-1 {
-			mask := nn.ReLUMask(z)
-			pattern = append(pattern, mask...)
-			for r, active := range mask {
-				if active {
-					continue
-				}
-				nextW.RawRow(r).ScaleInPlace(leak)
-				nextB[r] *= leak
-				z[r] *= leak
-			}
+		if li < L-1 {
+			applyMask(nextW, nextB, l.Out())
 		}
-		curW, curB, cur = nextW, nextB, z
+		curW, curB = nextW, nextB
 	}
 	return plm.NewLinear(curW, curB, PatternKey(pattern))
 }
@@ -92,12 +114,36 @@ func SameRegion(n *nn.Network, a, b mat.Vec) bool {
 // evaluation harness a uniform white-box view of the network.
 type PLNN struct {
 	Net *nn.Network
+	// Regions, when non-nil, memoizes LocalAt's closed-form composition per
+	// locally linear region (see RegionCache). NewCachedPLNN sets it.
+	Regions *RegionCache
 }
 
 var _ plm.RegionModel = (*PLNN)(nil)
+var _ plm.BatchPredictor = (*PLNN)(nil)
+
+// NewCachedPLNN wraps net with a region cache of the given capacity
+// (capacity <= 0 means unbounded), so repeated LocalAt calls for instances
+// in already-seen regions return the memoized composed map.
+func NewCachedPLNN(net *nn.Network, capacity int) *PLNN {
+	return &PLNN{Net: net, Regions: NewRegionCache(net, capacity)}
+}
 
 // Predict returns softmax class probabilities.
 func (p *PLNN) Predict(x mat.Vec) mat.Vec { return p.Net.Predict(x) }
+
+// PredictBatch answers the whole batch with one GEMM per layer —
+// bit-identical to per-instance Predict. It implements plm.BatchPredictor,
+// so api.Server's batch handler and plm.PredictAll pick it up via the usual
+// type assertion.
+func (p *PLNN) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	for i, x := range xs {
+		if len(x) != p.Net.InputDim() {
+			return nil, fmt.Errorf("openbox: batch item %d length %d != %d", i, len(x), p.Net.InputDim())
+		}
+	}
+	return p.Net.PredictBatch(xs), nil
+}
 
 // Dim returns the network's input dimensionality.
 func (p *PLNN) Dim() int { return p.Net.InputDim() }
@@ -110,5 +156,23 @@ func (p *PLNN) RegionKey(x mat.Vec) string {
 	return PatternKey(p.Net.ActivationPattern(x))
 }
 
-// LocalAt extracts the locally linear classifier at x.
-func (p *PLNN) LocalAt(x mat.Vec) (*plm.Linear, error) { return Extract(p.Net, x) }
+// LocalAt extracts the locally linear classifier at x, through the region
+// cache when one is attached. The result is shared storage — read-only.
+func (p *PLNN) LocalAt(x mat.Vec) (*plm.Linear, error) {
+	if p.Regions != nil {
+		return p.Regions.LocalAt(x)
+	}
+	return Extract(p.Net, x)
+}
+
+// LocalAtAll extracts the locally linear classifier of every instance,
+// computing activation patterns with the batched forward and composing each
+// distinct region only once. Without an attached cache a transient one
+// scopes the memoization to this call.
+func (p *PLNN) LocalAtAll(xs []mat.Vec) ([]*plm.Linear, error) {
+	rc := p.Regions
+	if rc == nil {
+		rc = NewRegionCache(p.Net, 0)
+	}
+	return rc.ExtractAll(xs)
+}

@@ -1,0 +1,189 @@
+package openbox
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lru"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/plm"
+)
+
+// RegionCache memoizes the closed-form affine map of a network's locally
+// linear regions, keyed by PatternKey. Composing (W_eff, b_eff) costs one
+// GEMM per layer over the full input dimensionality; two instances with the
+// same activation pattern share the identical map, so the second extraction
+// is a map lookup instead of a GEMM chain — the region structure OpenBox
+// makes explicit, exploited for compute.
+//
+// A bounded cache evicts least-recently-used regions; capacity <= 0 keeps
+// every region seen. RegionCache is safe for concurrent use. Cached
+// *plm.Linear values are shared between callers and must be treated as
+// read-only (every consumer in this repository is).
+type RegionCache struct {
+	net *nn.Network
+
+	mu sync.Mutex
+	c  *lru.Cache[*plm.Linear]
+
+	hits, misses, evictions, compositions atomic.Int64
+}
+
+// NewRegionCache returns a cache over net holding at most capacity regions
+// (capacity <= 0 means unbounded).
+func NewRegionCache(net *nn.Network, capacity int) *RegionCache {
+	return &RegionCache{net: net, c: lru.New[*plm.Linear](capacity)}
+}
+
+// RegionCacheStats is a point-in-time snapshot of cache behaviour.
+// Compositions counts how many times the GEMM chain actually ran — the
+// quantity the batched extraction keeps strictly below the instance count
+// whenever instances share regions.
+type RegionCacheStats struct {
+	Hits, Misses, Evictions, Compositions int64
+}
+
+// Stats returns the cache counters.
+func (rc *RegionCache) Stats() RegionCacheStats {
+	return RegionCacheStats{
+		Hits:         rc.hits.Load(),
+		Misses:       rc.misses.Load(),
+		Evictions:    rc.evictions.Load(),
+		Compositions: rc.compositions.Load(),
+	}
+}
+
+// Len returns the number of regions currently cached.
+func (rc *RegionCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.c.Len()
+}
+
+// LocalAt returns the memoized locally linear classifier of the region
+// containing x, composing it on first sight of the region.
+func (rc *RegionCache) LocalAt(x mat.Vec) (*plm.Linear, error) {
+	if len(x) != rc.net.InputDim() {
+		return nil, fmt.Errorf("openbox: input length %d != %d", len(x), rc.net.InputDim())
+	}
+	return rc.localForPattern(rc.net.ActivationPattern(x))
+}
+
+// ExtractAll returns the locally linear classifier of every instance. The
+// activation patterns come from one batched forward (a GEMM per layer for
+// the whole batch), and each distinct region is composed at most once —
+// clustered workloads pay per region, not per instance. out[i] is
+// bit-identical to Extract(net, xs[i]).
+func (rc *RegionCache) ExtractAll(xs []mat.Vec) ([]*plm.Linear, error) {
+	for i, x := range xs {
+		if len(x) != rc.net.InputDim() {
+			return nil, fmt.Errorf("openbox: batch item %d length %d != %d", i, len(x), rc.net.InputDim())
+		}
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	patterns := rc.net.ActivationPatternBatch(xs)
+	out := make([]*plm.Linear, len(xs))
+	seen := make(map[string]*plm.Linear, len(xs))
+	for i, pat := range patterns {
+		key := PatternKey(pat)
+		if lin, ok := seen[key]; ok {
+			out[i] = lin
+			continue
+		}
+		lin, err := rc.localForPattern(pat)
+		if err != nil {
+			return nil, err
+		}
+		seen[key] = lin
+		out[i] = lin
+	}
+	return out, nil
+}
+
+// localForPattern returns the cached map for the region the pattern selects,
+// composing and inserting it on a miss. The composition runs outside the
+// lock: two goroutines missing the same fresh region may both compose, but
+// the results are identical and only the incumbent is kept.
+func (rc *RegionCache) localForPattern(pattern []bool) (*plm.Linear, error) {
+	key := PatternKey(pattern)
+	rc.mu.Lock()
+	if lin, ok := rc.c.Get(key); ok {
+		rc.mu.Unlock()
+		rc.hits.Add(1)
+		return lin, nil
+	}
+	rc.mu.Unlock()
+
+	rc.misses.Add(1)
+	rc.compositions.Add(1)
+	lin, err := composeFromPattern(rc.net, pattern)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	// On a lost compose race Add keeps and returns the incumbent, so every
+	// caller holds the same shared value.
+	kept, _, evicted := rc.c.Add(key, lin)
+	rc.mu.Unlock()
+	if evicted {
+		rc.evictions.Add(1)
+	}
+	return kept, nil
+}
+
+// ExtractAll is the package-level batch extraction: activation patterns via
+// the batched forward, one composition per distinct region, no persistent
+// cache. out[i] is bit-identical to Extract(n, xs[i]).
+func ExtractAll(n *nn.Network, xs []mat.Vec) ([]*plm.Linear, error) {
+	return NewRegionCache(n, 0).ExtractAll(xs)
+}
+
+// CacheRegionModel wraps any white-box model so repeated LocalAt calls for
+// instances in an already-seen region return the memoized classifier,
+// keyed by RegionKey (capacity <= 0 means unbounded). A PLNN gets the
+// pattern-level RegionCache — one forward per call instead of two; other
+// families (MaxOut, LMT) get a generic RegionKey-keyed LRU whose hits still
+// pay the one forward that builds the key (cheap next to the composition it
+// skips; a per-family pattern hook closing that residual forward is a
+// ROADMAP follow-on). The evaluation harness wraps its ground-truth model
+// with this before a metrics run: RD/WD/L1Dist query LocalAt per probe and
+// per sample, but only per region does the answer change.
+func CacheRegionModel(m plm.RegionModel, capacity int) plm.RegionModel {
+	if p, ok := m.(*PLNN); ok {
+		if p.Regions != nil {
+			return p
+		}
+		return &PLNN{Net: p.Net, Regions: NewRegionCache(p.Net, capacity)}
+	}
+	return &cachedRegionModel{RegionModel: m, c: lru.New[*plm.Linear](capacity)}
+}
+
+// cachedRegionModel memoizes LocalAt per RegionKey for any RegionModel.
+type cachedRegionModel struct {
+	plm.RegionModel
+
+	mu sync.Mutex
+	c  *lru.Cache[*plm.Linear]
+}
+
+func (c *cachedRegionModel) LocalAt(x mat.Vec) (*plm.Linear, error) {
+	key := c.RegionModel.RegionKey(x)
+	c.mu.Lock()
+	if lin, ok := c.c.Get(key); ok {
+		c.mu.Unlock()
+		return lin, nil
+	}
+	c.mu.Unlock()
+	lin, err := c.RegionModel.LocalAt(x)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	kept, _, _ := c.c.Add(key, lin)
+	c.mu.Unlock()
+	return kept, nil
+}

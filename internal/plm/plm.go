@@ -25,8 +25,13 @@ type Model interface {
 }
 
 // BatchPredictor is an optional extension of Model: services that expose a
-// batch endpoint can answer many probes in one round trip. Interpreters
-// probe for it with a type assertion and fall back to per-instance Predict.
+// batch endpoint can answer many probes in one round trip, and local models
+// with a batched forward (openbox.PLNN, openbox.Maxout — one GEMM per layer
+// instead of one matrix-vector product per instance) can answer them at
+// hardware speed. Interpreters probe for it with a type assertion and fall
+// back to per-instance Predict. Implementations must return answers
+// bit-identical to per-instance Predict: callers treat the batch path as a
+// pure throughput decision.
 type BatchPredictor interface {
 	// PredictBatch returns one probability vector per input.
 	PredictBatch(xs []mat.Vec) ([]mat.Vec, error)
@@ -91,7 +96,8 @@ func (l *Linear) Dim() int { return l.W.Cols() }
 
 // Logits returns W x + b.
 func (l *Linear) Logits(x mat.Vec) mat.Vec {
-	return l.W.MulVec(x).AddInPlace(l.B.Clone())
+	out := make(mat.Vec, l.Classes())
+	return l.W.MulVecInto(x, out).AddInPlace(l.B)
 }
 
 // CoreParams returns the paper's core parameters of the region for the class

@@ -247,3 +247,20 @@ func ExtractSurrogatePooled(model Model, probes []Vec, workers int) (*Surrogate,
 func VerifySurrogate(s *Surrogate, model Model, xs []Vec) (extract.Fidelity, error) {
 	return extract.Verify(s, model, xs)
 }
+
+// ExtractSurrogateExact builds a surrogate straight from a white-box model —
+// the model owner's export path. No API probing: activation patterns come
+// from the batched forward and each distinct locally linear region is
+// composed exactly once through the region cache.
+func ExtractSurrogateExact(model RegionModel, probes []Vec) (*Surrogate, error) {
+	return extract.HarvestExact(model, probes)
+}
+
+// CacheRegions wraps a white-box model so repeated ground-truth LocalAt
+// queries for instances in an already-seen region return the memoized
+// closed-form classifier instead of re-running the GEMM composition chain
+// (capacity <= 0 keeps every region). The returned classifiers are shared:
+// treat them as read-only.
+func CacheRegions(model RegionModel, capacity int) RegionModel {
+	return openbox.CacheRegionModel(model, capacity)
+}
