@@ -3,17 +3,33 @@
 // probabilities leave the process; parameters stay hidden.
 //
 // With -replicas N the model is loaded N times and served behind the
-// api.Shard router: each /batch request fans out across the replicas in
-// parallel and /stats reports the per-replica query breakdown.
+// api.Shard router: each /batch request is dispatched load-aware across the
+// replicas and /stats reports the per-backend breakdown (queries, inflight,
+// retries, health).
 //
-// With -cache N a bounded LRU response cache sits in front of the model (or
-// the whole shard): repeated probes are answered without touching any
-// replica, and /stats reports cache_hits / cache_misses / cache_evictions.
+// With -backend host:port,host:port the shard additionally routes to other
+// plmserve instances as remote backends — a heterogeneous shard of local
+// replicas and remote workers behind one endpoint. An unreachable backend
+// is quarantined with exponential backoff, its work fails over to the
+// others, and it rejoins after a successful health probe. With -backend
+// alone (no -model) the instance is a pure router.
+//
+// With -cache N a bounded LRU response cache sits in front of the whole
+// shard: repeated probes are answered without touching any backend, and
+// /stats reports cache_hits / cache_misses / cache_evictions.
+//
+// With -jobs N the async job API is enabled: POST /jobs submits a bulk
+// predict or interpret request (answered 202 with a job id), GET /jobs/{id}
+// polls it, and a bounded worker pool runs the work on the batched fast
+// paths. Interpret jobs harvest the exact locally linear regions of the
+// submitted instances and need at least one local replica (-model).
 //
 // Usage:
 //
 //	plmserve -model plnn.json -type plnn -addr :8080
-//	plmserve -model plnn.json -type plnn -replicas 4 -cache 4096
+//	plmserve -model plnn.json -type plnn -replicas 4 -cache 4096 -jobs 64
+//	plmserve -model plnn.json -replicas 2 -backend 10.0.0.2:8080,10.0.0.3:8080
+//	plmserve -backend 10.0.0.2:8080,10.0.0.3:8080   # pure router, no local model
 //	plmserve -model lmt.json -type lmt -addr 127.0.0.1:9000 -latency 5ms
 package main
 
@@ -22,9 +38,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/jobs"
 	"repro/internal/modelio"
 	"repro/internal/plm"
 )
@@ -37,6 +56,15 @@ func loadReplicas(path, kind string, n int) (plm.Model, error) {
 	if n <= 1 {
 		return modelio.Load(path, kind)
 	}
+	models, err := loadLocalModels(path, kind, n)
+	if err != nil {
+		return nil, err
+	}
+	return api.NewShard(models)
+}
+
+// loadLocalModels loads n independent copies of the model file.
+func loadLocalModels(path, kind string, n int) ([]plm.Model, error) {
 	models := make([]plm.Model, n)
 	for i := range models {
 		m, err := modelio.Load(path, kind)
@@ -45,7 +73,47 @@ func loadReplicas(path, kind string, n int) (plm.Model, error) {
 		}
 		models[i] = m
 	}
-	return api.NewShard(models)
+	return models, nil
+}
+
+// buildBackends assembles the heterogeneous backend set: n local replicas
+// loaded from the model file (when a path is given) plus one remote backend
+// per dialed address.
+func buildBackends(path, kind string, n int, addrs []string) ([]api.Backend, error) {
+	var backends []api.Backend
+	if path != "" {
+		models, err := loadLocalModels(path, kind, n)
+		if err != nil {
+			return nil, err
+		}
+		backends = api.LocalBackends(models, path)
+	}
+	for _, addr := range addrs {
+		url := addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		client, err := api.Dial(url, nil, 1)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: %w", addr, err)
+		}
+		backends = append(backends, api.NewRemoteBackend(client))
+	}
+	return backends, nil
+}
+
+// splitBackendList parses the -backend flag value.
+func splitBackendList(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -53,33 +121,55 @@ func main() {
 	log.SetPrefix("plmserve: ")
 
 	var (
-		modelPath = flag.String("model", "", "model file saved by plmtrain (required)")
-		modelType = flag.String("type", "plnn", fmt.Sprintf("model family: one of %v", modelio.Kinds()))
-		addr      = flag.String("addr", ":8080", "listen address")
-		name      = flag.String("name", "", "advertised model name (default: file path)")
-		replicas  = flag.Int("replicas", 1, "model replicas served behind the shard router")
-		cacheN    = flag.Int("cache", 0, "LRU response cache entries in front of the model (0: off)")
-		latency   = flag.Duration("latency", 0, "artificial per-request latency")
-		logStats  = flag.Duration("log-stats", 0, "periodically log served queries and round trips (0: off)")
+		modelPath  = flag.String("model", "", "model file saved by plmtrain (required unless -backend is set)")
+		modelType  = flag.String("type", "plnn", fmt.Sprintf("model family: one of %v", modelio.Kinds()))
+		addr       = flag.String("addr", ":8080", "listen address")
+		name       = flag.String("name", "", "advertised model name (default: file path or backend list)")
+		replicas   = flag.Int("replicas", 1, "local model replicas served behind the shard router")
+		backendsFl = flag.String("backend", "", "comma list of remote plmserve addresses to route to as shard backends")
+		cacheN     = flag.Int("cache", 0, "LRU response cache entries in front of the model (0: off)")
+		jobsN      = flag.Int("jobs", 0, "async job store capacity enabling POST /jobs (0: off)")
+		jobWorkers = flag.Int("job-workers", runtime.NumCPU(), "async job pool workers")
+		latency    = flag.Duration("latency", 0, "artificial per-request latency")
+		logStats   = flag.Duration("log-stats", 0, "periodically log served queries and round trips (0: off)")
 	)
 	flag.Parse()
-	if *modelPath == "" {
-		log.Fatal("-model is required")
+	backendAddrs := splitBackendList(*backendsFl)
+	if *modelPath == "" && len(backendAddrs) == 0 {
+		log.Fatal("-model is required (or -backend for a pure router)")
 	}
 	if *name == "" {
-		*name = *modelPath
+		if *modelPath != "" {
+			*name = *modelPath
+		} else {
+			*name = "router(" + strings.Join(backendAddrs, ",") + ")"
+		}
 	}
 	if *replicas < 1 {
 		log.Fatalf("-replicas %d: need at least 1", *replicas)
 	}
 
-	model, err := loadReplicas(*modelPath, *modelType, *replicas)
-	if err != nil {
-		log.Fatal(err)
+	var model plm.Model
+	if len(backendAddrs) == 0 {
+		m, err := loadReplicas(*modelPath, *modelType, *replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = m
+	} else {
+		backends, err := buildBackends(*modelPath, *modelType, *replicas, backendAddrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shard, err := api.NewShardBackends(backends, api.ShardConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = shard
 	}
 	if *cacheN > 0 {
 		// The cache fronts the whole shard: a repeated probe is answered
-		// before any replica sees it, and /stats reports hits and misses.
+		// before any backend sees it, and /stats reports hits and misses.
 		cached, err := api.NewResponseCache(model, *cacheN)
 		if err != nil {
 			log.Fatal(err)
@@ -91,9 +181,32 @@ func main() {
 
 	srv := api.NewServer(model, *name)
 	srv.Latency = *latency
-	fmt.Printf("serving %s (%d features, %d classes, %d replica(s)) on %s\n",
-		*name, model.Dim(), model.Classes(), *replicas, *addr)
-	fmt.Println("endpoints: GET /meta, POST /predict, POST /batch, GET /stats")
+	endpoints := "GET /meta, POST /predict, POST /batch, GET /stats"
+	if *jobsN > 0 {
+		// Interpret jobs extract from a dedicated white-box copy, so the
+		// closed-form compositions never contend with the serving replicas
+		// (models are pure functions; the copy is cheap). Loaded only when
+		// jobs are on — it would otherwise be dead weight.
+		var white plm.RegionModel
+		if *modelPath != "" {
+			w, err := modelio.Load(*modelPath, *modelType)
+			if err != nil {
+				log.Fatal(err)
+			}
+			white = w
+		}
+		runner, err := jobs.NewRunner(model, white, *jobsN, *jobWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner.Mount(srv)
+		endpoints += ", POST /jobs, GET /jobs/{id}"
+	} else if *jobsN < 0 {
+		log.Fatalf("-jobs %d: need >= 0", *jobsN)
+	}
+	fmt.Printf("serving %s (%d features, %d classes, %d local replica(s), %d remote backend(s)) on %s\n",
+		*name, model.Dim(), model.Classes(), *replicas, len(backendAddrs), *addr)
+	fmt.Println("endpoints: " + endpoints)
 
 	if *logStats > 0 {
 		// The queries/round-trips ratio shows how well clients batch: an

@@ -7,9 +7,11 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/mat"
+	"repro/internal/modelio"
 	"repro/internal/nn"
 )
 
@@ -157,5 +159,109 @@ func TestCachedShardedServer(t *testing.T) {
 	}
 	if len(stats.ReplicaQueries) != 2 {
 		t.Fatalf("replica_queries = %v, want the shard visible behind the cache", stats.ReplicaQueries)
+	}
+}
+
+// TestBuildBackendsHeterogeneous exercises what `plmserve -replicas 2
+// -backend host:port,host:port` wires together: 2 local replicas + 2
+// remote plmserve instances behind one shard, bit-identical answers, a
+// per-backend /stats breakdown with both kinds, and failover keeping the
+// endpoint serving after a remote dies.
+func TestBuildBackendsHeterogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := nn.New(rng, 6, 10, 3)
+	path := filepath.Join(t.TempDir(), "plnn.json")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	single, err := modelio.Load(path, "plnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two inner plmserve stand-ins, each serving the same model file.
+	var remotes []*httptest.Server
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		m, err := modelio.Load(path, "plnn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(api.NewServer(m, "inner"))
+		defer ts.Close()
+		remotes = append(remotes, ts)
+		addrs = append(addrs, ts.URL)
+	}
+
+	backends, err := buildBackends(path, "plnn", 2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backends) != 4 {
+		t.Fatalf("built %d backends, want 4", len(backends))
+	}
+	shard, err := api.NewShardBackends(backends, api.ShardConfig{QuarantineBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.NewServer(shard, "hetero"))
+	defer ts.Close()
+	client, err := api.Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xs := make([]mat.Vec, 32)
+	for i := range xs {
+		xs[i] = make(mat.Vec, 6)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	check := func(round string) {
+		t.Helper()
+		got, err := client.PredictBatch(xs)
+		if err != nil {
+			t.Fatalf("%s: %v", round, err)
+		}
+		for i, x := range xs {
+			if want := single.Predict(x); !got[i].EqualApprox(want, 0) {
+				t.Fatalf("%s item %d: %v != %v", round, i, got[i], want)
+			}
+		}
+	}
+	check("all alive")
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Backends []api.BackendStatus `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	kinds := map[string]int{}
+	for _, b := range stats.Backends {
+		kinds[b.Kind]++
+		if b.Queries == 0 {
+			t.Fatalf("backend %s (%s) served nothing: %+v", b.Name, b.Kind, stats.Backends)
+		}
+	}
+	if kinds["local"] != 2 || kinds["remote"] != 2 {
+		t.Fatalf("kinds = %v, want 2 local + 2 remote", kinds)
+	}
+
+	// One remote dies; the endpoint keeps answering bit-identically.
+	remotes[1].Close()
+	check("one remote dead")
+	check("one remote dead, second batch")
+}
+
+func TestBuildBackendsRejectsBadAddress(t *testing.T) {
+	if _, err := buildBackends("", "plnn", 0, []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("undialable backend accepted")
 	}
 }

@@ -7,7 +7,11 @@
 //   - internal/core — the OpenAPI interpreter (the paper's contribution)
 //   - internal/nn, internal/lmt — the two target PLM families
 //   - internal/openbox — white-box ground truth for PLNNs
-//   - internal/api — the HTTP "model behind an API" substrate
+//   - internal/api — the HTTP "model behind an API" substrate, including
+//     the backend-abstracted shard router (local replicas and remote
+//     plmserve instances behind one endpoint, with health-aware failover)
+//   - internal/jobs — the async bulk predict/interpret job subsystem
+//     behind plmserve's POST /jobs and GET /jobs/{id}
 //   - internal/interpret/... — the naive, ZOO, LIME and gradient baselines
 //   - internal/eval — metrics and per-figure experiment drivers
 //   - internal/dataset, internal/heatmap — data and visualization

@@ -1,0 +1,130 @@
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// Backend is one prediction worker behind the shard router. The paper's
+// OpenAPI setting never assumes the model runs in-process — only that
+// something answers probability queries — so the router speaks to an
+// abstract worker: a local model replica, or a remote plmserve instance
+// reached over HTTP. Unlike plm.Model, every call returns an error: a
+// backend is allowed to be down, and the router's job is to notice and
+// route around it rather than corrupt a batch.
+//
+// Implementations must be safe for concurrent use; the shard dispatches
+// chunks to one backend from at most one goroutine at a time, but single
+// predictions and /stats reads interleave freely.
+type Backend interface {
+	// Predict answers one probe.
+	Predict(x mat.Vec) (mat.Vec, error)
+	// PredictBatch answers a batch of probes, one output per input.
+	PredictBatch(xs []mat.Vec) ([]mat.Vec, error)
+	// Stats describes the backend: kind, name and model shape. The shape is
+	// what NewShardBackends validates replica interchangeability against.
+	Stats() BackendStats
+	// Healthy reports whether the backend can currently answer. Local
+	// backends are always healthy; remote ones ping their server. The shard
+	// calls this only on quarantine-recovery probes, never on the hot path.
+	Healthy() bool
+}
+
+// BackendStats identifies a backend: its kind ("local" or "remote"), a
+// human-readable name, and the model shape it serves.
+type BackendStats struct {
+	Kind    string
+	Name    string
+	Dim     int
+	Classes int
+}
+
+// BackendStatus is the live per-backend view /stats reports: identity plus
+// the router's inflight, retry and failure counters and the health state.
+type BackendStatus struct {
+	Kind string `json:"kind"` // "local" or "remote"
+	Name string `json:"name"`
+	// Queries counts probes this backend answered successfully.
+	Queries int64 `json:"queries"`
+	// Inflight counts probes currently outstanding on this backend.
+	Inflight int64 `json:"inflight"`
+	// Retries counts chunks re-dispatched to another backend after this one
+	// failed them.
+	Retries int64 `json:"retries"`
+	// Failures counts calls (chunk, single or recovery probe) that errored.
+	Failures int64 `json:"failures"`
+	// State is "ok" for a serving backend and "unreachable" while the
+	// backend is quarantined after failures. It reflects the router's
+	// bookkeeping, not a live probe — /stats stays cheap.
+	State string `json:"state"`
+}
+
+// localBackend adapts an in-process plm.Model to the Backend interface —
+// today's replicas, unchanged except for the explicit error surface.
+type localBackend struct {
+	model plm.Model
+	name  string
+}
+
+// NewLocalBackend wraps an in-process model as a shard backend.
+func NewLocalBackend(model plm.Model, name string) Backend {
+	return &localBackend{model: model, name: name}
+}
+
+func (b *localBackend) Predict(x mat.Vec) (mat.Vec, error) {
+	return b.model.Predict(x), nil
+}
+
+func (b *localBackend) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	return predictAllErr(b.model, xs)
+}
+
+func (b *localBackend) Stats() BackendStats {
+	return BackendStats{Kind: "local", Name: b.name, Dim: b.model.Dim(), Classes: b.model.Classes()}
+}
+
+func (b *localBackend) Healthy() bool { return true }
+
+// remoteBackend adapts an api.Client to the Backend interface: a shard
+// replica that is itself another plmserve instance, reached over HTTP —
+// the topology `plmserve -backend host:port` wires up.
+type remoteBackend struct {
+	client *Client
+}
+
+// NewRemoteBackend wraps a dialed client as a shard backend.
+func NewRemoteBackend(client *Client) Backend {
+	return &remoteBackend{client: client}
+}
+
+func (b *remoteBackend) Predict(x mat.Vec) (mat.Vec, error) {
+	return b.client.PredictErr(x)
+}
+
+func (b *remoteBackend) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	return b.client.PredictBatch(xs)
+}
+
+func (b *remoteBackend) Stats() BackendStats {
+	return BackendStats{
+		Kind:    "remote",
+		Name:    b.client.BaseURL(),
+		Dim:     b.client.Dim(),
+		Classes: b.client.Classes(),
+	}
+}
+
+// Healthy pings the remote's /meta endpoint with a short deadline. Used by
+// the shard's quarantine-recovery probe.
+func (b *remoteBackend) Healthy() bool { return b.client.Ping() == nil }
+
+// LocalBackends wraps each model as a local backend, named name-0, name-1…
+func LocalBackends(models []plm.Model, name string) []Backend {
+	out := make([]Backend, len(models))
+	for i, m := range models {
+		out[i] = NewLocalBackend(m, fmt.Sprintf("%s-%d", name, i))
+	}
+	return out
+}

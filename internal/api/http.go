@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,6 +54,11 @@ type statsResponse struct {
 	// ReplicaQueries breaks Queries down per model replica when the served
 	// model is a Shard; absent for single-replica servers.
 	ReplicaQueries []int64 `json:"replica_queries,omitempty"`
+	// Backends is the per-backend breakdown when the served model is a
+	// Shard: kind (local/remote), health state, inflight, retry and failure
+	// counters. A remote or temporarily unhealthy backend stays listed with
+	// state "unreachable" rather than disappearing from the report.
+	Backends []BackendStatus `json:"backends,omitempty"`
 	// Cache counters are present when the served model sits behind a
 	// ResponseCache (plmserve -cache N). Pointers keep genuine zeros visible
 	// while omitting the fields entirely on cacheless servers.
@@ -120,8 +126,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if sh, ok := model.(*Shard); ok {
 		resp.ReplicaQueries = sh.ReplicaQueries()
+		resp.Backends = sh.BackendStatus()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// Handle mounts an extra handler on the server's mux — how optional
+// subsystems (the async job API, say) attach their endpoints without the
+// core server depending on them.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -137,10 +151,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
 	}
+	// Models with an error surface (a Shard whose backends are all gone,
+	// say) answer 5xx rather than fabricating probabilities — and like a
+	// failed batch, a failed prediction delivered nothing, so it is not
+	// counted.
+	var probs mat.Vec
+	if ep, ok := s.model.(errPredictor); ok {
+		p, err := ep.PredictErr(mat.Vec(req.X))
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		probs = p
+	} else {
+		probs = s.model.Predict(mat.Vec(req.X))
+	}
 	s.requests.Add(1)
 	s.queries.Add(1)
-	probs := s.model.Predict(mat.Vec(req.X))
 	writeJSON(w, http.StatusOK, predictResponse{Probs: probs})
+}
+
+// errPredictor is the optional single-prediction error surface (Client,
+// Shard, ResponseCache): Predict with failures made visible instead of
+// degraded into a uniform answer.
+type errPredictor interface {
+	PredictErr(x mat.Vec) (mat.Vec, error)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +291,30 @@ func Dial(baseURL string, httpc *http.Client, retries int) (*Client, error) {
 
 // Name returns the remote model's advertised name.
 func (c *Client) Name() string { return c.meta.Name }
+
+// BaseURL returns the server address the client was dialed against.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// Ping checks that the server still answers its /meta endpoint, with a
+// short deadline so a dead host cannot stall the caller for the transport
+// timeout. It is the health probe remote shard backends use.
+func (c *Client) Ping() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/meta", nil)
+	if err != nil {
+		return fmt.Errorf("api: ping %s: %w", c.baseURL, err)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: ping %s: %w", c.baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("api: ping %s returned %s", c.baseURL, resp.Status)
+	}
+	return nil
+}
 
 // Dim returns the remote model's input dimensionality.
 func (c *Client) Dim() int { return c.meta.Dim }

@@ -79,16 +79,41 @@ func (rc *ResponseCache) insert(key string, p mat.Vec) {
 	}
 }
 
-// Predict serves from the cache when possible, otherwise forwards.
-func (rc *ResponseCache) Predict(x mat.Vec) mat.Vec {
+// PredictErr serves from the cache when possible, otherwise forwards —
+// through the inner model's own error surface when it has one, so a shard
+// outage behind the cache reaches the server as an error (and is not
+// cached) instead of being memoized as a fabricated answer.
+func (rc *ResponseCache) PredictErr(x mat.Vec) (mat.Vec, error) {
 	key := cacheKey(x)
 	if p, ok := rc.lookup(key); ok {
 		rc.hits.Add(1)
-		return p.Clone()
+		return p.Clone(), nil
 	}
 	rc.misses.Add(1)
-	p := rc.inner.Predict(x)
+	var p mat.Vec
+	if ep, ok := rc.inner.(interface {
+		PredictErr(mat.Vec) (mat.Vec, error)
+	}); ok {
+		got, err := ep.PredictErr(x)
+		if err != nil {
+			return nil, err
+		}
+		p = got
+	} else {
+		p = rc.inner.Predict(x)
+	}
 	rc.insert(key, p.Clone())
+	return p, nil
+}
+
+// Predict is PredictErr behind the errorless plm.Model surface; a total
+// inner failure degrades to the uniform distribution like Client.Predict.
+func (rc *ResponseCache) Predict(x mat.Vec) mat.Vec {
+	p, err := rc.PredictErr(x)
+	if err != nil {
+		out := make(mat.Vec, rc.Classes())
+		return out.Fill(1 / float64(rc.Classes()))
+	}
 	return p
 }
 

@@ -4,125 +4,506 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/plm"
 )
 
-// Shard routes prediction traffic across N replicas of the same model. A
-// single replica answers a /batch request serially, so one big coalesced
-// batch — exactly what an aggregated interpreter pool ships — is evaluated
-// one probe at a time; the shard splits the batch into contiguous chunks and
-// evaluates them on all replicas in parallel, merging the answers back in
-// submission order. Replicas must be interchangeable (copies of one model,
-// or remotes serving it): the split is then invisible to callers and sharded
-// predictions are bit-identical to single-replica ones.
+// Shard routes prediction traffic across N backends serving the same model.
+// A backend is either a local in-process replica or a remote plmserve
+// instance (see Backend); the router cannot tell them apart, which is the
+// point — the paper's API setting assumes only that something answers
+// probability queries.
 //
-// A Shard is safe for concurrent use when its replicas are; every model in
-// this codebase is a pure function of its input, so sharing one model value
-// across replica slots is also valid (the replicas then buy intra-batch
-// parallelism, not memory isolation).
+// A /batch request is split into chunks and dispatched load-aware: every
+// eligible backend pulls the next chunk off a shared queue as soon as it
+// finishes the previous one, so fast backends serve more of the batch and a
+// backend busy with another caller's work naturally takes less
+// (least-outstanding-work, tracked by per-backend inflight counters). Each
+// chunk writes only its own out[lo:hi] segment, so the merge preserves
+// submission order with no reordering and no lock.
+//
+// Failures fail over instead of failing the batch: a backend whose chunk
+// errors is quarantined with exponential backoff and its chunk re-enqueued
+// for the remaining backends. Only when every backend has failed does the
+// batch error — partial answers would silently corrupt an interpretation's
+// linear system, so it is all of the batch or none of it. A quarantined
+// backend rejoins after its backoff expires and a Healthy() recovery probe
+// succeeds; a failed probe doubles the backoff.
+//
+// Backends must be interchangeable (copies of one model, or remotes serving
+// it): the split is then invisible to callers and sharded predictions are
+// bit-identical to single-backend ones. A Shard is safe for concurrent use
+// when its backends are.
 type Shard struct {
-	replicas []plm.Model
-	// queries[i] counts the probes replica i has served — the /stats
-	// per-replica breakdown and the load-balance check in tests.
-	queries []atomic.Int64
-	// next drives the round-robin assignment of single predictions.
+	backends []*backendState
+	cfg      ShardConfig
+	// next drives the round-robin tie-break for single predictions.
 	next atomic.Int64
+	// now is the clock, swappable in tests.
+	now func() time.Time
 }
 
-// NewShard builds a router over the given replicas. All replicas must agree
-// on input dimensionality and class count.
+// ShardConfig tunes the router. The zero value gives sensible defaults.
+type ShardConfig struct {
+	// MinChunk is the smallest chunk handed to one backend (default 4):
+	// below it, dispatch overhead beats the batched forward's GEMM win.
+	MinChunk int
+	// ChunkFactor is how many chunks each backend would get of an evenly
+	// split batch (default 2). More chunks re-balance better when backends
+	// run at different speeds; fewer keep per-chunk batches wide.
+	ChunkFactor int
+	// QuarantineBase is the first backoff after a backend failure
+	// (default 250ms); each further failure doubles it up to QuarantineMax
+	// (default 30s).
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
+}
+
+func (c *ShardConfig) setDefaults() {
+	if c.MinChunk <= 0 {
+		c.MinChunk = 4
+	}
+	if c.ChunkFactor <= 0 {
+		c.ChunkFactor = 2
+	}
+	if c.QuarantineBase <= 0 {
+		c.QuarantineBase = 250 * time.Millisecond
+	}
+	if c.QuarantineMax <= 0 {
+		c.QuarantineMax = 30 * time.Second
+	}
+}
+
+// backendState is the router's bookkeeping around one backend.
+type backendState struct {
+	b     Backend
+	stats BackendStats
+
+	queries  atomic.Int64 // probes answered successfully
+	inflight atomic.Int64 // probes currently outstanding
+	retries  atomic.Int64 // chunks re-dispatched away after this backend failed them
+	failures atomic.Int64 // failed calls (chunks, singles, recovery probes)
+	// probing single-flights the quarantine-recovery Healthy() probe: a
+	// remote ping can take up to its deadline, so exactly one caller pays
+	// it (and doubles the backoff on failure) while everyone else keeps
+	// treating the backend as quarantined.
+	probing atomic.Bool
+
+	mu               sync.Mutex
+	quarantinedUntil time.Time
+	backoff          time.Duration
+}
+
+// quarantined reports whether the backend is sidelined at time now.
+func (st *backendState) quarantined(now time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return !st.quarantinedUntil.IsZero() && now.Before(st.quarantinedUntil)
+}
+
+// NewShard builds a router over local in-process replicas — the original
+// single-machine topology, kept as the convenience constructor. All
+// replicas must agree on input dimensionality and class count.
 func NewShard(replicas []plm.Model) (*Shard, error) {
-	if len(replicas) == 0 {
-		return nil, fmt.Errorf("api: shard needs at least one replica")
-	}
-	d, c := replicas[0].Dim(), replicas[0].Classes()
-	for i, r := range replicas[1:] {
-		if r.Dim() != d || r.Classes() != c {
-			return nil, fmt.Errorf("api: replica %d is %dx%d, replica 0 is %dx%d",
-				i+1, r.Dim(), r.Classes(), d, c)
-		}
-	}
-	return &Shard{replicas: replicas, queries: make([]atomic.Int64, len(replicas))}, nil
+	return NewShardBackends(LocalBackends(replicas, "replica"), ShardConfig{})
 }
 
-// Replicas returns the number of replicas behind the router.
-func (s *Shard) Replicas() int { return len(s.replicas) }
+// NewShardBackends builds a router over the given backends, local or
+// remote. All backends must agree on input dimensionality and class count.
+func NewShardBackends(backends []Backend, cfg ShardConfig) (*Shard, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("api: shard needs at least one backend")
+	}
+	cfg.setDefaults()
+	s := &Shard{backends: make([]*backendState, len(backends)), cfg: cfg, now: time.Now}
+	first := backends[0].Stats()
+	for i, b := range backends {
+		st := b.Stats()
+		if st.Dim != first.Dim || st.Classes != first.Classes {
+			return nil, fmt.Errorf("api: backend %d (%s) is %dx%d, backend 0 (%s) is %dx%d",
+				i, st.Name, st.Dim, st.Classes, first.Name, first.Dim, first.Classes)
+		}
+		s.backends[i] = &backendState{b: b, stats: st}
+	}
+	return s, nil
+}
 
-// ReplicaQueries returns the number of probes each replica has served.
+// Replicas returns the number of backends behind the router.
+func (s *Shard) Replicas() int { return len(s.backends) }
+
+// ReplicaQueries returns the number of probes each backend has answered.
 func (s *Shard) ReplicaQueries() []int64 {
-	out := make([]int64, len(s.queries))
-	for i := range s.queries {
-		out[i] = s.queries[i].Load()
+	out := make([]int64, len(s.backends))
+	for i, st := range s.backends {
+		out[i] = st.queries.Load()
 	}
 	return out
 }
 
-// Dim forwards to the first replica.
-func (s *Shard) Dim() int { return s.replicas[0].Dim() }
-
-// Classes forwards to the first replica.
-func (s *Shard) Classes() int { return s.replicas[0].Classes() }
-
-// Predict routes one prediction to the next replica round-robin.
-func (s *Shard) Predict(x mat.Vec) mat.Vec {
-	i := int(s.next.Add(1)-1) % len(s.replicas)
-	s.queries[i].Add(1)
-	return s.replicas[i].Predict(x)
+// BackendStatus returns the live per-backend breakdown /stats reports. A
+// remote backend that cannot currently be reached shows state "unreachable"
+// instead of being omitted (or worse, panicking a reach-through): the
+// router knows the backend exists even while it cannot serve.
+func (s *Shard) BackendStatus() []BackendStatus {
+	now := s.now()
+	out := make([]BackendStatus, len(s.backends))
+	for i, st := range s.backends {
+		state := "ok"
+		if st.quarantined(now) {
+			state = "unreachable"
+		}
+		out[i] = BackendStatus{
+			Kind:     st.stats.Kind,
+			Name:     st.stats.Name,
+			Queries:  st.queries.Load(),
+			Inflight: st.inflight.Load(),
+			Retries:  st.retries.Load(),
+			Failures: st.failures.Load(),
+			State:    state,
+		}
+	}
+	return out
 }
 
-// PredictBatch splits the batch into contiguous chunks, evaluates one chunk
-// per replica concurrently, and merges the answers in submission order.
-// Replica r writes only its own out[lo:hi] segment, so the merge needs no
-// reordering and no lock. The first replica error fails the whole batch —
-// partial answers would silently corrupt an interpretation's linear system.
+// Dim forwards to the first backend's advertised shape.
+func (s *Shard) Dim() int { return s.backends[0].stats.Dim }
+
+// Classes forwards to the first backend's advertised shape.
+func (s *Shard) Classes() int { return s.backends[0].stats.Classes }
+
+// quarantine sidelines a backend after a failure, doubling its backoff up
+// to the configured maximum.
+func (s *Shard) quarantine(st *backendState) {
+	st.mu.Lock()
+	if st.backoff == 0 {
+		st.backoff = s.cfg.QuarantineBase
+	} else if st.backoff < s.cfg.QuarantineMax {
+		st.backoff *= 2
+		if st.backoff > s.cfg.QuarantineMax {
+			st.backoff = s.cfg.QuarantineMax
+		}
+	}
+	st.quarantinedUntil = s.now().Add(st.backoff)
+	st.mu.Unlock()
+}
+
+// eligible returns the backends allowed to serve right now. A backend whose
+// quarantine has expired is given a Healthy() recovery probe — exactly one
+// caller runs it (single-flight; concurrent callers keep treating the
+// backend as quarantined): success clears its record, failure
+// re-quarantines it with a doubled backoff. When everything is quarantined
+// the full set is returned as a last resort — a batch that might succeed
+// beats one refused outright, and a success clears the survivor's
+// quarantine.
+func (s *Shard) eligible() []*backendState {
+	now := s.now()
+	out := make([]*backendState, 0, len(s.backends))
+	for _, st := range s.backends {
+		st.mu.Lock()
+		until := st.quarantinedUntil
+		st.mu.Unlock()
+		switch {
+		case until.IsZero():
+			out = append(out, st)
+		case now.Before(until):
+			// Still sidelined.
+		case !st.probing.CompareAndSwap(false, true):
+			// Another caller's recovery probe is in flight.
+		default:
+			healthy := st.b.Healthy()
+			if healthy {
+				st.mu.Lock()
+				st.quarantinedUntil = time.Time{}
+				st.backoff = 0
+				st.mu.Unlock()
+			} else {
+				st.failures.Add(1)
+				s.quarantine(st)
+			}
+			st.probing.Store(false)
+			if healthy {
+				out = append(out, st)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return s.backends
+	}
+	return out
+}
+
+// PredictErr routes one prediction to the eligible backend with the fewest
+// outstanding probes, breaking ties round-robin. A failing backend is
+// quarantined and the probe fails over to the next; when every backend has
+// failed, the error surfaces — the HTTP server turns it into a 5xx instead
+// of fabricating an answer.
+func (s *Shard) PredictErr(x mat.Vec) (mat.Vec, error) {
+	tried := make(map[*backendState]bool, len(s.backends))
+	var lastErr error
+	for {
+		st := s.pickLeastLoaded(tried)
+		if st == nil {
+			return nil, fmt.Errorf("api: all %d backends failed: %w", len(s.backends), lastErr)
+		}
+		tried[st] = true
+		st.inflight.Add(1)
+		p, err := st.b.Predict(x)
+		st.inflight.Add(-1)
+		if err != nil {
+			lastErr = err
+			st.failures.Add(1)
+			s.quarantine(st)
+			continue
+		}
+		s.clearQuarantine(st)
+		st.queries.Add(1)
+		return p, nil
+	}
+}
+
+// Predict is PredictErr behind the errorless plm.Model surface: when every
+// backend fails it degrades to the uniform distribution, the same contract
+// Client.Predict honours when its remote is gone. Servers should prefer
+// PredictErr so a total outage answers 5xx, not fabricated probabilities.
+func (s *Shard) Predict(x mat.Vec) mat.Vec {
+	p, err := s.PredictErr(x)
+	if err != nil {
+		out := make(mat.Vec, s.Classes())
+		return out.Fill(1 / float64(s.Classes()))
+	}
+	return p
+}
+
+// clearQuarantine wipes a backend's failure record after a success — a
+// last-resort call that got through means the backend is back.
+func (s *Shard) clearQuarantine(st *backendState) {
+	st.mu.Lock()
+	if !st.quarantinedUntil.IsZero() {
+		st.quarantinedUntil = time.Time{}
+		st.backoff = 0
+	}
+	st.mu.Unlock()
+}
+
+// pickLeastLoaded returns the untried eligible backend with the fewest
+// inflight probes, scanning from a rotating start so equal loads
+// round-robin. Returns nil when every eligible backend has been tried.
+func (s *Shard) pickLeastLoaded(tried map[*backendState]bool) *backendState {
+	elig := s.eligible()
+	start := int(s.next.Add(1)-1) % len(elig)
+	var best *backendState
+	var bestLoad int64
+	for i := 0; i < len(elig); i++ {
+		st := elig[(start+i)%len(elig)]
+		if tried[st] {
+			continue
+		}
+		if load := st.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = st, load
+		}
+	}
+	return best
+}
+
+// span is one contiguous chunk of a batch, with its re-dispatch count.
+type span struct {
+	lo, hi   int
+	attempts int
+}
+
+// chunkSpans splits n instances into roughly ChunkFactor chunks per worker,
+// each at least MinChunk wide — small enough to re-balance across uneven
+// backends, wide enough that every chunk still rides the batched forward.
+// On batches too small for that many MinChunk-wide chunks, the floor yields
+// to an even per-worker split so every backend still participates.
+func (s *Shard) chunkSpans(n, workers int) []span {
+	chunk := (n + workers*s.cfg.ChunkFactor - 1) / (workers * s.cfg.ChunkFactor)
+	if chunk < s.cfg.MinChunk {
+		chunk = s.cfg.MinChunk
+		if even := (n + workers - 1) / workers; even < chunk {
+			chunk = even
+		}
+	}
+	spans := make([]span, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo: lo, hi: hi})
+	}
+	return spans
+}
+
+// PredictBatch splits the batch into chunks and dispatches them load-aware
+// across the eligible backends, merging the answers in submission order.
+// A backend whose chunk fails is quarantined, its chunk re-enqueued for the
+// others, and the batch still succeeds — bit-identical to a single healthy
+// backend answering alone. The batch errors only when every backend has
+// dropped out with work still pending.
 func (s *Shard) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
-	n := len(s.replicas)
-	if n == 1 || len(xs) == 1 {
-		s.queries[0].Add(int64(len(xs)))
-		return predictAllErr(s.replicas[0], xs)
-	}
-	chunk := (len(xs) + n - 1) / n
+	elig := s.eligible()
+	spans := s.chunkSpans(len(xs), len(elig))
 	out := make([]mat.Vec, len(xs))
-	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
-	)
-	for r := 0; r < n; r++ {
-		lo := r * chunk
-		if lo >= len(xs) {
-			break
+	if len(elig) == 1 || len(spans) == 1 {
+		if err := s.runSpans(xs, out, spans, elig); err != nil {
+			return nil, err
 		}
-		hi := lo + chunk
-		if hi > len(xs) {
-			hi = len(xs)
-		}
-		wg.Add(1)
-		go func(r, lo, hi int) {
-			defer wg.Done()
-			s.queries[r].Add(int64(hi - lo))
-			ys, err := predictAllErr(s.replicas[r], xs[lo:hi])
-			if err != nil {
-				errMu.Lock()
-				if first == nil {
-					first = fmt.Errorf("api: replica %d: %w", r, err)
-				}
-				errMu.Unlock()
-				return
-			}
-			copy(out[lo:hi], ys)
-		}(r, lo, hi)
+		return out, nil
 	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
+	if err := s.dispatch(xs, out, spans, elig); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runSpans answers the chunks serially with failover: each backend in turn
+// (least-loaded first) tries the remaining work, so even a single-chunk
+// batch survives a dead backend as long as one lives.
+func (s *Shard) runSpans(xs []mat.Vec, out []mat.Vec, spans []span, elig []*backendState) error {
+	var lastErr error
+	tried := make(map[*backendState]bool, len(elig))
+	for len(tried) < len(elig) {
+		st := s.pickLeastLoaded(tried)
+		if st == nil {
+			break
+		}
+		tried[st] = true
+		if err := s.runChunksOn(st, xs, out, spans); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("api: all %d backends failed: %w", len(elig), lastErr)
+}
+
+// runChunksOn answers every span on one backend, quarantining it on the
+// first failure.
+func (s *Shard) runChunksOn(st *backendState, xs []mat.Vec, out []mat.Vec, spans []span) error {
+	for _, sp := range spans {
+		ys, err := s.runChunk(st, xs[sp.lo:sp.hi])
+		if err != nil {
+			return err
+		}
+		copy(out[sp.lo:sp.hi], ys)
+	}
+	return nil
+}
+
+// runChunk answers one chunk on one backend, maintaining the inflight,
+// query and failure counters and the quarantine state machine.
+func (s *Shard) runChunk(st *backendState, xs []mat.Vec) ([]mat.Vec, error) {
+	n := int64(len(xs))
+	st.inflight.Add(n)
+	ys, err := st.b.PredictBatch(xs)
+	st.inflight.Add(-n)
+	if err == nil && len(ys) != len(xs) {
+		err = fmt.Errorf("api: backend %s answered %d of %d probes", st.stats.Name, len(ys), len(xs))
+	}
+	if err != nil {
+		st.failures.Add(1)
+		s.quarantine(st)
+		return nil, err
+	}
+	s.clearQuarantine(st)
+	st.queries.Add(n)
+	return ys, nil
+}
+
+// dispatch runs the load-aware chunk schedule. Each backend is seeded with
+// one chunk — every backend participates, and on same-speed backends the
+// split degenerates to the even one — while the remaining chunks sit on a
+// shared queue that workers pull from as they finish, so faster (or less
+// loaded) backends absorb more of the tail. A worker whose chunk fails
+// re-enqueues it for the others and leaves the batch. pending counts
+// chunks not yet merged; active counts workers still pulling — when the
+// last worker leaves with work pending, the batch has genuinely run out of
+// backends and fails.
+func (s *Shard) dispatch(xs []mat.Vec, out []mat.Vec, spans []span, elig []*backendState) error {
+	jobs := make(chan span, len(spans))
+	for _, sp := range spans[min(len(spans), len(elig)):] {
+		jobs <- sp
+	}
+	var (
+		pending atomic.Int64
+		active  atomic.Int64
+		done    = make(chan struct{})
+		once    sync.Once
+		errMu   sync.Mutex
+		first   error
+	)
+	pending.Store(int64(len(spans)))
+	active.Store(int64(len(elig)))
+	finish := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if first == nil {
+				first = err
+			}
+			errMu.Unlock()
+		}
+		once.Do(func() { close(done) })
+	}
+	for i, st := range elig {
+		var seed *span
+		if i < len(spans) {
+			seed = &spans[i]
+		}
+		go func(st *backendState, seed *span) {
+			defer func() {
+				if active.Add(-1) == 0 && pending.Load() > 0 {
+					finish(fmt.Errorf("api: all %d backends failed with %d chunks pending",
+						len(elig), pending.Load()))
+				}
+			}()
+			// run answers one chunk; false means this worker is done —
+			// batch finished, or the backend failed and left.
+			run := func(sp span) bool {
+				ys, err := s.runChunk(st, xs[sp.lo:sp.hi])
+				if err != nil {
+					sp.attempts++
+					if sp.attempts >= len(elig) {
+						// Every backend has had its shot at this chunk.
+						finish(fmt.Errorf("api: chunk [%d:%d) failed on %d backends: %w",
+							sp.lo, sp.hi, sp.attempts, err))
+						return false
+					}
+					st.retries.Add(1)
+					jobs <- sp // capacity len(spans) ≥ live chunks, never blocks
+					return false
+				}
+				copy(out[sp.lo:sp.hi], ys)
+				if pending.Add(-1) == 0 {
+					finish(nil)
+					return false
+				}
+				return true
+			}
+			if seed != nil && !run(*seed) {
+				return
+			}
+			for {
+				select {
+				case <-done:
+					return
+				case sp := <-jobs:
+					if !run(sp) {
+						return
+					}
+				}
+			}
+		}(st, seed)
+	}
+	<-done
+	errMu.Lock()
+	defer errMu.Unlock()
+	return first
 }
 
 var _ plm.Model = (*Shard)(nil)

@@ -1,0 +1,81 @@
+package api
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+	"repro/internal/plm"
+)
+
+// benchShardModel is big enough that a 256-probe batch does real GEMM work
+// per chunk, small enough to keep the benchmark honest about routing
+// overhead rather than raw FLOPs.
+func benchShardModel(seed int64) *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(seed)), 32, 64, 32, 5)}
+}
+
+func benchShardProbes(seed int64, n, dim int) []mat.Vec {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]mat.Vec, n)
+	for i := range xs {
+		xs[i] = make(mat.Vec, dim)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+func runShardBench(b *testing.B, s *Shard, xs []mat.Vec) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PredictBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShard_Local4 is the homogeneous baseline: 4 in-process replicas
+// behind the load-aware router.
+func BenchmarkShard_Local4(b *testing.B) {
+	replicas := make([]plm.Model, 4)
+	for i := range replicas {
+		replicas[i] = benchShardModel(400)
+	}
+	s, err := NewShard(replicas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runShardBench(b, s, benchShardProbes(401, 256, 32))
+}
+
+// BenchmarkShard_Remote2Local2 is the heterogeneous topology `plmserve
+// -replicas 2 -backend a,b` wires: half the backends answer over a real
+// loopback HTTP hop, so the trajectory records what the wire costs next to
+// BenchmarkShard_Local4.
+func BenchmarkShard_Remote2Local2(b *testing.B) {
+	backends := []Backend{
+		NewLocalBackend(benchShardModel(400), "local-0"),
+		NewLocalBackend(benchShardModel(400), "local-1"),
+	}
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(NewServer(benchShardModel(400), "remote"))
+		defer ts.Close()
+		client, err := Dial(ts.URL, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		backends = append(backends, NewRemoteBackend(client))
+	}
+	s, err := NewShardBackends(backends, ShardConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runShardBench(b, s, benchShardProbes(401, 256, 32))
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/plm"
@@ -131,19 +133,233 @@ func (f failingModel) PredictBatch([]mat.Vec) ([]mat.Vec, error) {
 	return nil, errors.New("replica down")
 }
 
-func TestShardPropagatesReplicaFailure(t *testing.T) {
-	// A partial answer would silently corrupt interpretations, so one dead
-	// replica must fail the whole batch.
-	s, err := NewShard([]plm.Model{testModel(204), failingModel{testModel(204)}})
+// scriptedBackend wraps a backend with switchable failure: while down, every
+// call errors and Healthy reports false — an unreachable remote, scripted.
+type scriptedBackend struct {
+	Backend
+	down atomic.Bool
+}
+
+func (b *scriptedBackend) Predict(x mat.Vec) (mat.Vec, error) {
+	if b.down.Load() {
+		return nil, errors.New("backend down")
+	}
+	return b.Backend.Predict(x)
+}
+
+func (b *scriptedBackend) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	if b.down.Load() {
+		return nil, errors.New("backend down")
+	}
+	return b.Backend.PredictBatch(xs)
+}
+
+func (b *scriptedBackend) Healthy() bool { return !b.down.Load() }
+
+func shardProbes(n int) []mat.Vec {
+	xs := make([]mat.Vec, n)
+	for i := range xs {
+		xs[i] = mat.Vec{float64(i) / float64(n), 0.5, -float64(i) / 7, 0.25}
+	}
+	return xs
+}
+
+func TestShardFailsOverDeadBackendPreservingOrder(t *testing.T) {
+	// A dead backend no longer fails the batch: its chunk is re-dispatched
+	// to the survivors and the merged answer stays bit-identical to a
+	// single healthy backend, in submission order.
+	single := testModel(204)
+	dead := &scriptedBackend{Backend: NewLocalBackend(testModel(204), "dead")}
+	dead.down.Store(true)
+	s, err := NewShardBackends([]Backend{
+		NewLocalBackend(testModel(204), "good"),
+		dead,
+	}, ShardConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	xs := make([]mat.Vec, 8)
-	for i := range xs {
-		xs[i] = mat.Vec{1, 0, 0, 0}
+	xs := shardProbes(16)
+	got, err := s.PredictBatch(xs)
+	if err != nil {
+		t.Fatalf("one dead backend failed the batch: %v", err)
 	}
-	if _, err := s.PredictBatch(xs); err == nil {
-		t.Fatal("dead replica did not fail the batch")
+	for i, x := range xs {
+		if want := single.Predict(x); !got[i].EqualApprox(want, 0) {
+			t.Fatalf("item %d: %v != %v", i, got[i], want)
+		}
+	}
+	status := s.BackendStatus()
+	if status[0].Queries != 16 || status[1].Queries != 0 {
+		t.Fatalf("queries = %d/%d, want 16/0", status[0].Queries, status[1].Queries)
+	}
+	if status[1].State != "unreachable" {
+		t.Fatalf("dead backend state %q, want unreachable", status[1].State)
+	}
+	if status[1].Failures == 0 || status[1].Retries == 0 {
+		t.Fatalf("dead backend failures=%d retries=%d, want both > 0", status[1].Failures, status[1].Retries)
+	}
+}
+
+func TestShardErrorsWhenAllBackendsFail(t *testing.T) {
+	// Failover has a floor: with every backend gone the batch must error —
+	// a partial or fabricated answer would silently corrupt an
+	// interpretation's linear system.
+	a := &scriptedBackend{Backend: NewLocalBackend(testModel(204), "a")}
+	b := &scriptedBackend{Backend: NewLocalBackend(testModel(204), "b")}
+	a.down.Store(true)
+	b.down.Store(true)
+	s, err := NewShardBackends([]Backend{a, b}, ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PredictBatch(shardProbes(16)); err == nil {
+		t.Fatal("all backends dead, batch succeeded")
+	}
+}
+
+func TestShardQuarantineBackoffAndRecovery(t *testing.T) {
+	// The health state machine: a failing backend is quarantined and takes
+	// no traffic; when its backoff expires, a recovery probe (Healthy)
+	// decides whether it rejoins or is re-quarantined with doubled backoff.
+	var clock atomic.Int64 // nanos, swapped under test control
+	flaky := &scriptedBackend{Backend: NewLocalBackend(testModel(204), "flaky")}
+	s, err := NewShardBackends([]Backend{
+		NewLocalBackend(testModel(204), "steady"),
+		flaky,
+	}, ShardConfig{QuarantineBase: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.now = func() time.Time { return time.Unix(0, clock.Load()) }
+
+	xs := shardProbes(16)
+	flaky.down.Store(true)
+	if _, err := s.PredictBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BackendStatus()[1].State; got != "unreachable" {
+		t.Fatalf("after failure: state %q, want unreachable", got)
+	}
+
+	// Inside the backoff window the quarantined backend takes no traffic,
+	// even though it would answer again.
+	flaky.down.Store(false)
+	before := s.BackendStatus()[1].Queries
+	if _, err := s.PredictBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BackendStatus()[1].Queries; got != before {
+		t.Fatalf("quarantined backend served %d probes inside backoff", got-before)
+	}
+
+	// Backoff expired, but the backend is still down: the recovery probe
+	// fails and the quarantine doubles instead of lifting.
+	flaky.down.Store(true)
+	clock.Store(int64(300 * time.Millisecond))
+	if _, err := s.PredictBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BackendStatus()[1].State; got != "unreachable" {
+		t.Fatalf("failed recovery probe lifted quarantine: state %q", got)
+	}
+
+	// Doubled backoff expired and the backend is healthy again: it rejoins
+	// and serves its share.
+	flaky.down.Store(false)
+	clock.Store(int64(2 * time.Second))
+	if _, err := s.PredictBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.BackendStatus()[1]
+	if st.State != "ok" {
+		t.Fatalf("recovered backend state %q, want ok", st.State)
+	}
+	if st.Queries == before {
+		t.Fatal("recovered backend served nothing")
+	}
+}
+
+func TestShardPredictFailsOverSingles(t *testing.T) {
+	single := testModel(204)
+	dead := &scriptedBackend{Backend: NewLocalBackend(testModel(204), "dead")}
+	dead.down.Store(true)
+	s, err := NewShardBackends([]Backend{dead, NewLocalBackend(testModel(204), "good")}, ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{0.1, 0.2, 0.3, 0.4}
+	if got, want := s.Predict(x), single.Predict(x); !got.EqualApprox(want, 0) {
+		t.Fatalf("failover single: %v != %v", got, want)
+	}
+	// With everything dead, Predict degrades to the uniform distribution —
+	// the same contract Client.Predict honours when its remote is gone.
+	allDead := &scriptedBackend{Backend: NewLocalBackend(testModel(204), "dead2")}
+	allDead.down.Store(true)
+	s2, err := NewShardBackends([]Backend{allDead}, ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s2.Predict(x)
+	for _, v := range p {
+		if v != 1.0/3 {
+			t.Fatalf("degraded single = %v, want uniform", p)
+		}
+	}
+}
+
+func TestShardFailoverBitIdenticalUnderConcurrentBatches(t *testing.T) {
+	// The race + ordering gate, run with -race in CI: concurrent batches
+	// against a shard whose backend keeps flapping must each come back in
+	// their own submission order, bit-identical to the single model.
+	single := testModel(205)
+	flaky := &scriptedBackend{Backend: NewLocalBackend(testModel(205), "flaky")}
+	s, err := NewShardBackends([]Backend{
+		NewLocalBackend(testModel(205), "a"),
+		NewLocalBackend(testModel(205), "b"),
+		flaky,
+	}, ShardConfig{QuarantineBase: time.Nanosecond}) // immediate retry: maximum churn
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	go func() {
+		for !stop.Load() {
+			flaky.down.Store(!flaky.down.Load())
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	defer stop.Store(true)
+
+	const callers, perCaller = 8, 23
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([]mat.Vec, perCaller)
+			for i := range xs {
+				xs[i] = mat.Vec{float64(g) / callers, float64(i) / perCaller, 0.1, -0.1}
+			}
+			for round := 0; round < 6; round++ {
+				out, err := s.PredictBatch(xs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, x := range xs {
+					if want := single.Predict(x); !out[i].EqualApprox(want, 0) {
+						errs <- fmt.Errorf("caller %d round %d item %d: got %v want %v", g, round, i, out[i], want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -105,32 +105,43 @@ type remoteRegion struct {
 func (r remoteRegion) RegionKey(x mat.Vec) string             { return r.white.RegionKey(x) }
 func (r remoteRegion) LocalAt(x mat.Vec) (*plm.Linear, error) { return r.white.LocalAt(x) }
 
-// QualityOverAPI is SampleQuality with every interpreter probe crossing a
-// real HTTP hop through the adaptive aggregator: the model is served (with
-// the requested replica count), interpreted over the wire, and the usual
-// quality rows come back together with what the run cost in round trips.
-// The white-box side answers its ground-truth LocalAt queries through a
-// region cache — metrics ask per probe and per sample, but the closed form
-// only changes per region.
+// Quality runs SampleQuality against the already-serving bench: every
+// interpreter probe crosses the real HTTP hop through the adaptive
+// aggregator, while the white-box side answers its ground-truth LocalAt
+// queries locally. The returned WireStats cover this run alone — the
+// server counters are cumulative over the bench's lifetime, so Quality
+// snapshots them before and after. A persistent bench amortizes server
+// startup, the dialed connection and the warmed adaptive window across
+// experiment repetitions (cmd/experiments -exp remote starts one bench per
+// model and reuses it for every repetition).
+func (r *RemoteBench) Quality(white plm.RegionModel, methods []plm.Interpreter, xs []mat.Vec) ([]QualityRow, WireStats, error) {
+	q0, t0 := r.Server.Queries(), r.Server.Requests()
+	rows, err := SampleQuality(remoteRegion{Aggregator: r.Agg, white: white}, methods, xs)
+	if err != nil {
+		return nil, WireStats{}, err
+	}
+	if err := r.Client.Err(); err != nil {
+		return nil, WireStats{}, fmt.Errorf("eval: transport errors during remote quality run: %w", err)
+	}
+	stats := WireStats{
+		Queries:    r.Server.Queries() - q0,
+		RoundTrips: r.Server.Requests() - t0,
+		Window:     r.Agg.CurrentWindow(),
+		RTT:        r.Agg.RTT(),
+	}
+	return rows, stats, nil
+}
+
+// QualityOverAPI is the one-shot form of RemoteBench.Quality: the model is
+// served (with the requested replica count), interpreted over the wire,
+// and the server is torn down when the run finishes. The white-box side
+// answers through a region cache — metrics ask per probe and per sample,
+// but the closed form only changes per region.
 func QualityOverAPI(model plm.RegionModel, name string, methods []plm.Interpreter, xs []mat.Vec, replicas int, cfg api.AggregatorConfig) ([]QualityRow, WireStats, error) {
 	bench, err := ServeRemote(model, name, replicas, cfg)
 	if err != nil {
 		return nil, WireStats{}, err
 	}
 	defer bench.Close()
-	white := openbox.CacheRegionModel(model, 0)
-	rows, err := SampleQuality(remoteRegion{Aggregator: bench.Agg, white: white}, methods, xs)
-	if err != nil {
-		return nil, WireStats{}, err
-	}
-	if err := bench.Client.Err(); err != nil {
-		return nil, WireStats{}, fmt.Errorf("eval: transport errors during remote quality run: %w", err)
-	}
-	stats := WireStats{
-		Queries:    bench.Server.Queries(),
-		RoundTrips: bench.Server.Requests(),
-		Window:     bench.Agg.CurrentWindow(),
-		RTT:        bench.Agg.RTT(),
-	}
-	return rows, stats, nil
+	return bench.Quality(openbox.CacheRegionModel(model, 0), methods, xs)
 }

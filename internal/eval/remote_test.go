@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/openbox"
 	"repro/internal/plm"
 )
 
@@ -71,4 +72,47 @@ func TestServeRemoteLifecycle(t *testing.T) {
 	}
 	// A second Close must not panic the aggregator or the server.
 	_ = bench.Close()
+}
+
+func TestRemoteBenchReusedAcrossRepetitions(t *testing.T) {
+	// The persistent-server contract cmd/experiments relies on: one bench
+	// serves several quality repetitions, each Quality call reports only
+	// its own wire cost, and the science is identical run over run.
+	w, err := NewWorkbench(WorkbenchConfig{Size: 8, PerClass: 20, NNEpochs: 5, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := ServeRemote(w.PLNN, "persistent", 2, api.AggregatorConfig{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bench.Close()
+	white := openbox.CacheRegionModel(w.PLNN, 0)
+	xs := w.Test.X[:2]
+
+	var wires []WireStats
+	var prevRows []QualityRow
+	for rep := 0; rep < 2; rep++ {
+		methods := []plm.Interpreter{core.New(core.Config{Seed: 36})}
+		rows, wire, err := bench.Quality(white, methods, xs)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if len(rows) != 1 || rows[0].Failures > 0 {
+			t.Fatalf("rep %d rows: %+v", rep, rows)
+		}
+		if prevRows != nil && rows[0].L1.Mean != prevRows[0].L1.Mean {
+			t.Fatalf("repetitions disagree: %v vs %v", rows[0].L1.Mean, prevRows[0].L1.Mean)
+		}
+		prevRows = rows
+		wires = append(wires, wire)
+	}
+	// Identical work: each rep reports its own (equal) query count, not a
+	// cumulative total — and the server-side totals are their sum.
+	if wires[0].Queries == 0 || wires[0].Queries != wires[1].Queries {
+		t.Fatalf("per-rep wire stats not isolated: %+v", wires)
+	}
+	if got := bench.Server.Queries(); got != wires[0].Queries+wires[1].Queries {
+		t.Fatalf("server counted %d queries, reps report %d + %d", got, wires[0].Queries, wires[1].Queries)
+	}
 }

@@ -69,6 +69,10 @@ func (s *Surrogate) Classes() int { return s.classes }
 // NumRegions returns how many regions have been harvested.
 func (s *Surrogate) NumRegions() int { return len(s.regions) }
 
+// Regions returns the harvested regions in harvest order. The slice and
+// its entries are shared storage — treat them as read-only.
+func (s *Surrogate) Regions() []*Region { return s.regions }
+
 // nearestRegion picks the region whose probe is closest to x.
 func (s *Surrogate) nearestRegion(x mat.Vec) *Region {
 	var best *Region

@@ -1,0 +1,355 @@
+// Package jobs is the async job subsystem behind plmserve's /jobs
+// endpoints: a bulk predict or interpret request is submitted with
+// POST /jobs, answered 202 immediately, and polled with GET /jobs/{id}
+// while a bounded worker pool chews through it on the same fast paths the
+// synchronous endpoints use (the shard's load-aware PredictBatch; the
+// region-cached closed-form extraction for interpret jobs). A
+// HarvestPool-scale workload stops holding a connection open for the whole
+// harvest — the wire cost of a bulk job becomes one submit plus a few
+// polls.
+//
+//	POST /jobs      {"op":"predict"|"interpret","xs":[[...],...]}
+//	                -> 202 {"id":"job-1","status":"queued"}
+//	GET  /jobs/{id} -> {"id","op","status","n",...results...}
+//
+// The job store is bounded: finished jobs are evicted oldest-first to
+// admit new ones, and when the store is full of unfinished work the submit
+// is refused with 503 — backpressure instead of an unbounded queue.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/extract"
+	"repro/internal/mat"
+	"repro/internal/plm"
+)
+
+// Status is the lifecycle state of an async job.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Op names accepted by Submit.
+const (
+	OpPredict   = "predict"
+	OpInterpret = "interpret"
+)
+
+// ErrBacklogFull is returned by Submit when the bounded store holds only
+// unfinished jobs — the server is saturated and the caller should retry.
+var ErrBacklogFull = errors.New("jobs: backlog full")
+
+// Region is one harvested locally linear region in an interpret job's
+// result: the probe that produced it and the region classifier's logits
+// relative to class 0 (the closed form OpenAPI recovers, exact per the
+// paper's Theorem 2).
+type Region struct {
+	Probe []float64   `json:"probe"`
+	RelW  [][]float64 `json:"rel_w"`
+	RelB  []float64   `json:"rel_b"`
+}
+
+// View is the externally visible snapshot of a job, also its wire form.
+type View struct {
+	ID     string `json:"id"`
+	Op     string `json:"op"`
+	Status Status `json:"status"`
+	N      int    `json:"n"`
+	Error  string `json:"error,omitempty"`
+	// Probs holds a predict job's per-instance probabilities.
+	Probs [][]float64 `json:"probs,omitempty"`
+	// Regions holds an interpret job's harvested regions — one per distinct
+	// locally linear region among the submitted instances, not one per
+	// instance: the dedup is the point of the closed form.
+	Regions []Region `json:"regions,omitempty"`
+}
+
+// job is the internal mutable record behind a View.
+type job struct {
+	id string
+	op string
+	xs []mat.Vec
+
+	mu      sync.Mutex
+	status  Status
+	err     string
+	probs   [][]float64
+	regions []Region
+}
+
+func (j *job) view() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID: j.id, Op: j.op, Status: j.status, N: len(j.xs),
+		Error: j.err, Probs: j.probs, Regions: j.regions,
+	}
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusFailed
+}
+
+// Runner owns the bounded job store and worker pool. It is safe for
+// concurrent use.
+type Runner struct {
+	model plm.Model
+	// white answers interpret jobs; nil refuses them (a server routing only
+	// to remote backends has no white-box side to extract from).
+	white plm.RegionModel
+
+	capacity int
+	queue    chan *job
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, oldest first, for eviction
+	seq   int64
+	// evicted counts finished jobs displaced to admit new ones.
+	evicted int64
+}
+
+// NewRunner builds a runner over the served model with a bounded store of
+// capacity jobs and the given number of pool workers. white, when non-nil,
+// is the white-box side interpret jobs extract from — plmserve passes a
+// local copy of its model; a purely remote shard passes nil.
+func NewRunner(model plm.Model, white plm.RegionModel, capacity, workers int) (*Runner, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("jobs: store capacity %d, need > 0", capacity)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	r := &Runner{
+		model:    model,
+		white:    white,
+		capacity: capacity,
+		queue:    make(chan *job, capacity),
+		jobs:     make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		go r.work()
+	}
+	return r, nil
+}
+
+// Submit validates and enqueues a job, returning its id. When the store is
+// full, the oldest finished job is evicted to make room; if every stored
+// job is still queued or running, ErrBacklogFull is returned.
+func (r *Runner) Submit(op string, xs []mat.Vec) (string, error) {
+	switch op {
+	case OpPredict:
+	case OpInterpret:
+		if r.white == nil {
+			return "", fmt.Errorf("jobs: interpret jobs need a local white-box replica, this server has none")
+		}
+	default:
+		return "", fmt.Errorf("jobs: unknown op %q (want %q or %q)", op, OpPredict, OpInterpret)
+	}
+	if len(xs) == 0 {
+		return "", fmt.Errorf("jobs: empty job")
+	}
+	for i, x := range xs {
+		if len(x) != r.model.Dim() {
+			return "", fmt.Errorf("jobs: item %d length %d != %d", i, len(x), r.model.Dim())
+		}
+	}
+	r.mu.Lock()
+	if len(r.jobs) >= r.capacity && !r.evictOneLocked() {
+		r.mu.Unlock()
+		return "", ErrBacklogFull
+	}
+	r.seq++
+	j := &job{id: fmt.Sprintf("job-%d", r.seq), op: op, xs: xs, status: StatusQueued}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.mu.Unlock()
+	r.queue <- j // capacity == store capacity, never blocks
+	return j.id, nil
+}
+
+// evictOneLocked removes the oldest finished job; callers hold r.mu.
+func (r *Runner) evictOneLocked() bool {
+	for i, id := range r.order {
+		j, ok := r.jobs[id]
+		if !ok || !j.terminal() {
+			continue
+		}
+		delete(r.jobs, id)
+		r.order = append(r.order[:i], r.order[i+1:]...)
+		r.evicted++
+		return true
+	}
+	return false
+}
+
+// Get returns a snapshot of the job, or ok=false when it is unknown —
+// never submitted, or already evicted.
+func (r *Runner) Get(id string) (View, bool) {
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// Evicted returns how many finished jobs have been displaced.
+func (r *Runner) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+// work is one pool worker: pull, run, record.
+func (r *Runner) work() {
+	for j := range r.queue {
+		j.mu.Lock()
+		j.status = StatusRunning
+		j.mu.Unlock()
+		var (
+			probs   [][]float64
+			regions []Region
+			err     error
+		)
+		switch j.op {
+		case OpPredict:
+			probs, err = r.runPredict(j.xs)
+		case OpInterpret:
+			regions, err = r.runInterpret(j.xs)
+		}
+		j.mu.Lock()
+		if err != nil {
+			j.status = StatusFailed
+			j.err = err.Error()
+		} else {
+			j.status = StatusDone
+			j.probs = probs
+			j.regions = regions
+		}
+		j.mu.Unlock()
+	}
+}
+
+// runPredict answers the bulk batch on the served model's fast path — for
+// a shard that is the load-aware backend fan-out, for a bare model the
+// batched GEMM forward.
+func (r *Runner) runPredict(xs []mat.Vec) ([][]float64, error) {
+	var ys []mat.Vec
+	if bp, ok := r.model.(plm.BatchPredictor); ok {
+		out, err := bp.PredictBatch(xs)
+		if err != nil {
+			return nil, err
+		}
+		ys = out
+	} else {
+		ys = make([]mat.Vec, len(xs))
+		for i, x := range xs {
+			ys[i] = r.model.Predict(x)
+		}
+	}
+	out := make([][]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y
+	}
+	return out, nil
+}
+
+// runInterpret harvests the exact locally linear regions of the submitted
+// instances from the white-box replica: batched activation patterns, one
+// closed-form composition per distinct region (extract.HarvestExact rides
+// openbox.ExtractAll), deduplicated per region.
+func (r *Runner) runInterpret(xs []mat.Vec) ([]Region, error) {
+	s, err := extract.HarvestExact(r.white, xs)
+	if err != nil {
+		return nil, err
+	}
+	harvested := s.Regions()
+	out := make([]Region, len(harvested))
+	for i, h := range harvested {
+		view := Region{
+			Probe: h.Probe,
+			RelW:  make([][]float64, len(h.RelW)),
+			RelB:  h.RelB,
+		}
+		for c, w := range h.RelW {
+			view.RelW[c] = w
+		}
+		out[i] = view
+	}
+	return out, nil
+}
+
+// submitRequest is the POST /jobs wire form.
+type submitRequest struct {
+	Op string      `json:"op"`
+	Xs [][]float64 `json:"xs"`
+}
+
+// Mount attaches the async job endpoints to a prediction server.
+func (r *Runner) Mount(s *api.Server) {
+	s.Handle("POST /jobs", r.handleSubmit)
+	s.Handle("GET /jobs/{id}", r.handleGet)
+}
+
+func (r *Runner) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	defer req.Body.Close()
+	dec := json.NewDecoder(io.LimitReader(req.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	var body submitRequest
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("jobs: decode request: %w", err))
+		return
+	}
+	if body.Op == "" {
+		body.Op = OpPredict
+	}
+	xs := make([]mat.Vec, len(body.Xs))
+	for i, x := range body.Xs {
+		xs[i] = mat.Vec(x)
+	}
+	id, err := r.Submit(body.Op, xs)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrBacklogFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, View{ID: id, Op: body.Op, Status: StatusQueued, N: len(xs)})
+}
+
+func (r *Runner) handleGet(w http.ResponseWriter, req *http.Request) {
+	view, ok := r.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("jobs: unknown job %q", req.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

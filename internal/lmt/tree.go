@@ -321,6 +321,20 @@ func (t *Tree) LocalAt(x mat.Vec) (*plm.Linear, error) {
 	return leaf.Leaf.Linear(fmt.Sprintf("lmt-leaf-%d", leaf.LeafID))
 }
 
+// RegionPattern is the per-family pattern hook: one tree descent yields the
+// leaf, which is both the region key and everything the composer needs —
+// a region-cache miss no longer walks the tree a second time.
+func (t *Tree) RegionPattern(x mat.Vec) (string, func() (*plm.Linear, error), error) {
+	if len(x) != t.dim {
+		return "", nil, fmt.Errorf("lmt: input length %d != %d", len(x), t.dim)
+	}
+	leaf := t.leafFor(x)
+	key := fmt.Sprintf("lmt-leaf-%d", leaf.LeafID)
+	return key, func() (*plm.Linear, error) { return leaf.Leaf.Linear(key) }, nil
+}
+
+var _ plm.PatternRegionModel = (*Tree)(nil)
+
 func (t *Tree) checkInput(x mat.Vec) {
 	if len(x) != t.dim {
 		panic(fmt.Sprintf("lmt: input length %d != %d", len(x), t.dim))

@@ -139,26 +139,63 @@ func (n *MaxoutNetwork) PredictLabel(x mat.Vec) int { return n.Logits(x).ArgMax(
 // layer — the MaxOut analogue of a ReLU activation pattern. Two inputs with
 // the same pattern share a locally linear region.
 func (n *MaxoutNetwork) WinnerPattern(x mat.Vec) []int {
-	st := n.forward(x)
-	var pat []int
-	for _, w := range st.winners {
-		pat = append(pat, w...)
-	}
-	return pat
+	return flattenWinners(n.forward(x).winners)
 }
 
 // LocalAffine folds the network at x into the exact affine map (W, b) of
 // x's locally linear region: within the region, logits = W·x + b.
 func (n *MaxoutNetwork) LocalAffine(x mat.Vec) (*mat.Dense, mat.Vec) {
 	st := n.forward(x)
+	w, b, err := n.AffineFromWinners(flattenWinners(st.winners))
+	if err != nil {
+		panic(err) // a pattern from forward is valid by construction
+	}
+	return w, b
+}
+
+// HiddenUnits returns the total number of hidden units — the length of a
+// flat winner pattern.
+func (n *MaxoutNetwork) HiddenUnits() int {
+	total := 0
+	for _, l := range n.hidden {
+		total += l.Out()
+	}
+	return total
+}
+
+// flattenWinners concatenates per-layer winner slices into the flat
+// pattern WinnerPattern exposes.
+func flattenWinners(winners [][]int) []int {
+	var pat []int
+	for _, w := range winners {
+		pat = append(pat, w...)
+	}
+	return pat
+}
+
+// AffineFromWinners folds the exact affine map (W, b) of the locally
+// linear region a flat winner pattern selects, without any forward pass —
+// the MaxOut analogue of composing a ReLU region from its activation
+// pattern. The result is bit-identical to LocalAffine at any x inside the
+// region (the fold is the same arithmetic in the same order; only the
+// source of the winner indices differs).
+func (n *MaxoutNetwork) AffineFromWinners(pattern []int) (*mat.Dense, mat.Vec, error) {
+	if len(pattern) != n.HiddenUnits() {
+		return nil, nil, fmt.Errorf("nn: winner pattern length %d != %d hidden units", len(pattern), n.HiddenUnits())
+	}
 	d := n.InputDim()
 	curW := mat.Identity(d)
 	curB := mat.NewVec(d)
-	for li, l := range n.hidden {
+	off := 0
+	for _, l := range n.hidden {
 		nextW := mat.NewDense(l.Out(), curW.Cols())
 		nextB := mat.NewVec(l.Out())
 		for j := 0; j < l.Out(); j++ {
-			piece := l.Pieces[st.winners[li][j]]
+			win := pattern[off+j]
+			if win < 0 || win >= l.K() {
+				return nil, nil, fmt.Errorf("nn: winner %d of unit %d out of range %d", win, off+j, l.K())
+			}
+			piece := l.Pieces[win]
 			// Row j of the effective map: piece.W[j] composed with cur.
 			wj := piece.W.RawRow(j)
 			outRow := nextW.RawRow(j)
@@ -171,11 +208,12 @@ func (n *MaxoutNetwork) LocalAffine(x mat.Vec) (*mat.Dense, mat.Vec) {
 			}
 			nextB[j] = wj.Dot(curB) + piece.B[j]
 		}
+		off += l.Out()
 		curW, curB = nextW, nextB
 	}
 	finalW := n.out.W.Mul(curW)
 	finalB := n.out.W.MulVec(curB).AddInPlace(n.out.B)
-	return finalW, finalB
+	return finalW, finalB, nil
 }
 
 // InputGradient returns the gradient of logit c with respect to the input,

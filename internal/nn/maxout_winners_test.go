@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestAffineFromWinnersMatchesLocalAffine(t *testing.T) {
+	// The pattern-driven fold must be bit-identical to the forward-driven
+	// one: it is the same arithmetic, only the winner indices arrive as
+	// data instead of being recomputed.
+	rng := rand.New(rand.NewSource(60))
+	n := NewMaxout(rng, 3, 7, 12, 6, 4)
+	for i := 0; i < 10; i++ {
+		x := make(mat.Vec, 7)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		wantW, wantB := n.LocalAffine(x)
+		gotW, gotB, err := n.AffineFromWinners(n.WinnerPattern(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotB.EqualApprox(wantB, 0) {
+			t.Fatalf("bias differs: %v vs %v", gotB, wantB)
+		}
+		for r := 0; r < gotW.Rows(); r++ {
+			if !gotW.RawRow(r).EqualApprox(wantW.RawRow(r), 0) {
+				t.Fatalf("row %d differs", r)
+			}
+		}
+	}
+}
+
+func TestAffineFromWinnersRejectsBadPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := NewMaxout(rng, 2, 4, 6, 3)
+	if n.HiddenUnits() != 6 {
+		t.Fatalf("HiddenUnits = %d, want 6", n.HiddenUnits())
+	}
+	if _, _, err := n.AffineFromWinners(make([]int, 5)); err == nil {
+		t.Fatal("short pattern accepted")
+	}
+	bad := make([]int, 6)
+	bad[3] = 7 // only 2 pieces exist
+	if _, _, err := n.AffineFromWinners(bad); err == nil {
+		t.Fatal("out-of-range winner accepted")
+	}
+}

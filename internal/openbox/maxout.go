@@ -39,9 +39,8 @@ func (m *Maxout) Dim() int { return m.Net.InputDim() }
 // Classes returns the number of classes.
 func (m *Maxout) Classes() int { return m.Net.Classes() }
 
-// RegionKey fingerprints the winner pattern at x.
-func (m *Maxout) RegionKey(x mat.Vec) string {
-	pat := m.Net.WinnerPattern(x)
+// winnerKey fingerprints a flat winner pattern.
+func winnerKey(pat []int) string {
 	h := fnv.New64a()
 	buf := make([]byte, len(pat))
 	for i, p := range pat {
@@ -51,8 +50,37 @@ func (m *Maxout) RegionKey(x mat.Vec) string {
 	return fmt.Sprintf("maxout-%d-%016x", len(pat), h.Sum64())
 }
 
+// RegionKey fingerprints the winner pattern at x.
+func (m *Maxout) RegionKey(x mat.Vec) string {
+	return winnerKey(m.Net.WinnerPattern(x))
+}
+
 // LocalAt extracts the exact locally linear classifier at x.
 func (m *Maxout) LocalAt(x mat.Vec) (*plm.Linear, error) {
-	w, b := m.Net.LocalAffine(x)
-	return plm.NewLinear(w, b, m.RegionKey(x))
+	_, compose, err := m.RegionPattern(x)
+	if err != nil {
+		return nil, err
+	}
+	return compose()
 }
+
+// RegionPattern is the per-family pattern hook: one forward yields the
+// winner pattern, the key is hashed from it, and the composer folds the
+// winning pieces straight from the pattern — no second forward on cache
+// misses, none at all beyond the key on hits.
+func (m *Maxout) RegionPattern(x mat.Vec) (string, func() (*plm.Linear, error), error) {
+	if len(x) != m.Net.InputDim() {
+		return "", nil, fmt.Errorf("openbox: maxout input length %d != %d", len(x), m.Net.InputDim())
+	}
+	pat := m.Net.WinnerPattern(x)
+	key := winnerKey(pat)
+	return key, func() (*plm.Linear, error) {
+		w, b, err := m.Net.AffineFromWinners(pat)
+		if err != nil {
+			return nil, err
+		}
+		return plm.NewLinear(w, b, key)
+	}, nil
+}
+
+var _ plm.PatternRegionModel = (*Maxout)(nil)

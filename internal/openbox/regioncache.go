@@ -145,13 +145,15 @@ func ExtractAll(n *nn.Network, xs []mat.Vec) ([]*plm.Linear, error) {
 // CacheRegionModel wraps any white-box model so repeated LocalAt calls for
 // instances in an already-seen region return the memoized classifier,
 // keyed by RegionKey (capacity <= 0 means unbounded). A PLNN gets the
-// pattern-level RegionCache — one forward per call instead of two; other
-// families (MaxOut, LMT) get a generic RegionKey-keyed LRU whose hits still
-// pay the one forward that builds the key (cheap next to the composition it
-// skips; a per-family pattern hook closing that residual forward is a
-// ROADMAP follow-on). The evaluation harness wraps its ground-truth model
-// with this before a metrics run: RD/WD/L1Dist query LocalAt per probe and
-// per sample, but only per region does the answer change.
+// pattern-level RegionCache; families implementing the per-family pattern
+// hook (plm.PatternRegionModel — MaxOut, LMT) get the same economics
+// through the generic cache: one pattern-building pass per call, hits skip
+// the composition, and misses compose straight from the captured pattern
+// instead of re-deriving it from x. A family with neither hook falls back
+// to RegionKey + LocalAt (one extra derivation per miss). The evaluation
+// harness wraps its ground-truth model with this before a metrics run:
+// RD/WD/L1Dist query LocalAt per probe and per sample, but only per region
+// does the answer change.
 func CacheRegionModel(m plm.RegionModel, capacity int) plm.RegionModel {
 	if p, ok := m.(*PLNN); ok {
 		if p.Regions != nil {
@@ -171,14 +173,30 @@ type cachedRegionModel struct {
 }
 
 func (c *cachedRegionModel) LocalAt(x mat.Vec) (*plm.Linear, error) {
-	key := c.RegionModel.RegionKey(x)
+	var (
+		key     string
+		compose func() (*plm.Linear, error)
+	)
+	if pm, ok := c.RegionModel.(plm.PatternRegionModel); ok {
+		// The pattern hook: the key-building pass already captured the
+		// region, so a miss composes from the pattern instead of walking
+		// the model again.
+		k, comp, err := pm.RegionPattern(x)
+		if err != nil {
+			return nil, err
+		}
+		key, compose = k, comp
+	} else {
+		key = c.RegionModel.RegionKey(x)
+		compose = func() (*plm.Linear, error) { return c.RegionModel.LocalAt(x) }
+	}
 	c.mu.Lock()
 	if lin, ok := c.c.Get(key); ok {
 		c.mu.Unlock()
 		return lin, nil
 	}
 	c.mu.Unlock()
-	lin, err := c.RegionModel.LocalAt(x)
+	lin, err := compose()
 	if err != nil {
 		return nil, err
 	}

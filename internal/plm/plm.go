@@ -66,6 +66,21 @@ type RegionModel interface {
 	LocalAt(x mat.Vec) (*Linear, error)
 }
 
+// PatternRegionModel is an optional extension of RegionModel: one forward
+// pass (or tree descent) yields both the region's identity and a composer
+// that builds the region's classifier from the captured pattern without
+// revisiting the input. Region caches probe for it with a type assertion —
+// a cache hit then costs exactly the one pattern-building pass (the way a
+// PLNN's pattern-keyed RegionCache already works), and a miss composes
+// straight from the pattern instead of re-deriving it from x.
+type PatternRegionModel interface {
+	RegionModel
+	// RegionPattern returns the key of the region containing x and a
+	// compose function producing the region's classifier. compose must be
+	// bit-identical to LocalAt(x) and must not re-run the forward pass.
+	RegionPattern(x mat.Vec) (key string, compose func() (*Linear, error), err error)
+}
+
 // Linear is a locally linear classifier σ(W x + b). W is stored
 // row-per-class (C-by-d): row c is the paper's column W_c.
 type Linear struct {
