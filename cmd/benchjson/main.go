@@ -7,6 +7,17 @@
 //
 // Standard extra metrics (B/op, allocs/op, and any custom ReportMetric
 // units) are captured into the metrics map.
+//
+// With -compare, benchjson also diffs the fresh run against one or more
+// committed snapshots and exits non-zero on regressions, turning the
+// trajectory from a printout into a gate:
+//
+//	... | benchjson -out BENCH_ci.json -compare BENCH_pr3.json,BENCH_pr5.json -tol 0.35
+//
+// Every snapshot benchmark must still exist in the fresh run (a vanished
+// benchmark fails); benchmarks only in the fresh run are allowed (the
+// trajectory grows PR over PR); a fresh ns/op more than (1+tol)× its
+// snapshot value is a regression.
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -80,10 +92,74 @@ func lastDashSuffix(name string) string {
 	return name[i+1:]
 }
 
+// compareRecords diffs a fresh run against reference records and returns a
+// human-readable report plus the verdicts that gate CI. Rules:
+//
+//   - every reference benchmark must appear in fresh — a benchmark that
+//     vanished (renamed, deleted, filtered out of the run) fails;
+//   - benchmarks only in fresh are allowed: the trajectory grows;
+//   - fresh ns/op above ref·(1+tol) is a regression and fails;
+//   - ties and improvements pass.
+func compareRecords(fresh, ref []Record, tol float64) (report []string, failures []string) {
+	freshByName := make(map[string]Record, len(fresh))
+	for _, r := range fresh {
+		freshByName[r.Name] = r
+	}
+	names := make([]string, 0, len(ref))
+	refByName := make(map[string]Record, len(ref))
+	for _, r := range ref {
+		if _, dup := refByName[r.Name]; !dup {
+			names = append(names, r.Name)
+		}
+		refByName[r.Name] = r // later snapshots override earlier ones
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := refByName[name]
+		got, ok := freshByName[name]
+		if !ok {
+			msg := fmt.Sprintf("MISSING %s: in snapshot (%.0f ns/op) but absent from this run", name, want.NsPerOp)
+			report = append(report, msg)
+			failures = append(failures, msg)
+			continue
+		}
+		ratio := got.NsPerOp / want.NsPerOp
+		if got.NsPerOp > want.NsPerOp*(1+tol) {
+			msg := fmt.Sprintf("REGRESSION %s: %.0f ns/op vs snapshot %.0f (%.2fx > allowed %.2fx)",
+				name, got.NsPerOp, want.NsPerOp, ratio, 1+tol)
+			report = append(report, msg)
+			failures = append(failures, msg)
+			continue
+		}
+		report = append(report, fmt.Sprintf("ok %s: %.0f ns/op vs snapshot %.0f (%.2fx)",
+			name, got.NsPerOp, want.NsPerOp, ratio))
+	}
+	return report, failures
+}
+
+// loadSnapshots reads and concatenates the given JSON record files.
+func loadSnapshots(paths []string) ([]Record, error) {
+	var all []Record
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, recs...)
+	}
+	return all, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output file (default: stdout)")
+	compare := flag.String("compare", "", "comma-separated snapshot JSON files to gate against")
+	tol := flag.Float64("tol", 0.35, "allowed fractional ns/op regression vs snapshot")
 	flag.Parse()
 
 	var records []Record
@@ -107,10 +183,26 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		fmt.Print(string(data))
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d benchmark records to %s", len(records), *out)
+	}
+
+	if *compare == "" {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	ref, err := loadSnapshots(strings.Split(*compare, ","))
+	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %d benchmark records to %s", len(records), *out)
+	report, failures := compareRecords(records, ref, *tol)
+	for _, line := range report {
+		log.Print(line)
+	}
+	if len(failures) > 0 {
+		log.Fatalf("%d of %d trajectory benchmarks regressed past tol=%.2f", len(failures), len(report), *tol)
+	}
+	log.Printf("trajectory gate passed: %d benchmarks within tol=%.2f", len(report), *tol)
 }

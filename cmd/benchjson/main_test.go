@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	rec, ok := parseLine("BenchmarkLogitsBatch256-8   \t     50\t  9023498 ns/op\t 1234 B/op\t  12 allocs/op")
@@ -22,6 +26,86 @@ func TestParseLineNoProcsSuffix(t *testing.T) {
 	rec, ok := parseLine("BenchmarkExtract_RegionCache  10  830879 ns/op")
 	if !ok || rec.Name != "BenchmarkExtract_RegionCache" {
 		t.Fatalf("parsed %+v ok=%v", rec, ok)
+	}
+}
+
+func rec(name string, ns float64) Record {
+	return Record{Name: name, Iterations: 10, NsPerOp: ns}
+}
+
+func TestCompareWithinToleranceAndImprovementsPass(t *testing.T) {
+	fresh := []Record{rec("BenchmarkA", 130), rec("BenchmarkB", 50), rec("BenchmarkNew", 999)}
+	ref := []Record{rec("BenchmarkA", 100), rec("BenchmarkB", 100)}
+	report, failures := compareRecords(fresh, ref, 0.35)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	// Only reference benchmarks are gated; BenchmarkNew rides along free.
+	if len(report) != 2 {
+		t.Fatalf("report = %v", report)
+	}
+}
+
+func TestCompareFlagsRegressionBeyondTolerance(t *testing.T) {
+	fresh := []Record{rec("BenchmarkA", 136)}
+	ref := []Record{rec("BenchmarkA", 100)}
+	_, failures := compareRecords(fresh, ref, 0.35)
+	if len(failures) != 1 || !strings.Contains(failures[0], "REGRESSION") {
+		t.Fatalf("failures = %v", failures)
+	}
+	// Exactly at the bound passes (strict >).
+	if _, f := compareRecords([]Record{rec("BenchmarkA", 135)}, ref, 0.35); len(f) != 0 {
+		t.Fatalf("at-bound run should pass, got %v", f)
+	}
+}
+
+func TestCompareFailsOnVanishedBenchmark(t *testing.T) {
+	fresh := []Record{rec("BenchmarkA", 100)}
+	ref := []Record{rec("BenchmarkA", 100), rec("BenchmarkGone", 100)}
+	_, failures := compareRecords(fresh, ref, 0.35)
+	if len(failures) != 1 || !strings.Contains(failures[0], "MISSING BenchmarkGone") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareLaterSnapshotOverridesEarlier(t *testing.T) {
+	// The same benchmark re-recorded in a later snapshot (a faster
+	// implementation landed) must be gated against the newer number.
+	fresh := []Record{rec("BenchmarkA", 180)}
+	ref := []Record{rec("BenchmarkA", 500), rec("BenchmarkA", 100)}
+	report, failures := compareRecords(fresh, ref, 0.35)
+	if len(report) != 1 {
+		t.Fatalf("report = %v", report)
+	}
+	if len(failures) != 1 {
+		t.Fatalf("expected regression vs overriding snapshot (100), got %v", failures)
+	}
+}
+
+func TestLoadSnapshotsMergesFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a.json", `[{"name":"BenchmarkA","iterations":1,"ns_per_op":100}]`)
+	b := write("b.json", `[{"name":"BenchmarkB","iterations":1,"ns_per_op":200}]`)
+	recs, err := loadSnapshots([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "BenchmarkA" || recs[1].Name != "BenchmarkB" {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if _, err := loadSnapshots([]string{dir + "/missing.json"}); err == nil {
+		t.Fatal("missing snapshot file should error")
+	}
+	bad := write("bad.json", `{not json]`)
+	if _, err := loadSnapshots([]string{bad}); err == nil {
+		t.Fatal("malformed snapshot should error")
 	}
 }
 

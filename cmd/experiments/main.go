@@ -96,9 +96,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("   trained in %v (PLNN test acc %.3f, LMT test acc %.3f, LMT leaves %d)\n",
+		fmt.Printf("   trained in %v: PLNN %v (batched GEMM epoch, test acc %.3f), LMT %v (test acc %.3f, %d leaves)\n",
 			time.Since(start).Round(time.Millisecond),
+			w.PLNNTrainTime.Round(time.Millisecond),
 			w.PLNN.Net.Accuracy(w.Test.X, w.Test.Y),
+			w.LMTTrainTime.Round(time.Millisecond),
 			w.LMT.Accuracy(w.Test.X, w.Test.Y),
 			w.LMT.NumLeaves())
 

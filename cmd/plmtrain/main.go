@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/lmt"
@@ -37,6 +38,7 @@ func main() {
 		testFrac  = flag.Float64("test-frac", 0.2, "held-out test fraction")
 		hidden    = flag.String("hidden", "64,32", "PLNN hidden sizes, comma separated")
 		epochs    = flag.Int("epochs", 15, "PLNN training epochs / LMT leaf epochs")
+		perSample = flag.Bool("per-sample", false, "train on the per-sample reference loop instead of the batched GEMM epoch (same weights, for A/B timing)")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		out       = flag.String("out", "", "output model path (required)")
 	)
@@ -55,6 +57,18 @@ func main() {
 	fmt.Printf("dataset %s: %d train / %d test, %d features, %d classes\n",
 		data.Name, train.Len(), test.Len(), data.Dim(), data.Classes())
 
+	trainCfg := nn.TrainConfig{
+		Epochs:    *epochs,
+		PerSample: *perSample,
+		Progress: func(e int, l float64) {
+			fmt.Printf("  epoch %d: loss %.4f\n", e, l)
+		},
+	}
+	pathName := "batched GEMM epoch"
+	if *perSample {
+		pathName = "per-sample reference loop"
+	}
+
 	switch strings.ToLower(*modelKind) {
 	case "plnn":
 		sizes := []int{train.Dim()}
@@ -67,27 +81,26 @@ func main() {
 		}
 		sizes = append(sizes, train.Classes())
 		net := nn.New(rng, sizes...)
-		loss, err := net.Train(rng, train.X, train.Y, nn.TrainConfig{
-			Epochs: *epochs,
-			Progress: func(e int, l float64) {
-				fmt.Printf("  epoch %d: loss %.4f\n", e, l)
-			},
-		})
+		start := time.Now()
+		loss, err := net.Train(rng, train.X, train.Y, trainCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("trained in %v (%s)\n", time.Since(start).Round(time.Millisecond), pathName)
 		fmt.Printf("final loss %.4f, train acc %.3f, test acc %.3f\n",
 			loss, net.Accuracy(train.X, train.Y), net.Accuracy(test.X, test.Y))
 		if err := net.Save(*out); err != nil {
 			log.Fatal(err)
 		}
 	case "lmt":
+		start := time.Now()
 		tree, err := lmt.Train(rng, train.X, train.Y, train.Classes(), lmt.Config{
 			LogReg: lmt.LogRegConfig{Epochs: *epochs * 10},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("trained in %v\n", time.Since(start).Round(time.Millisecond))
 		fmt.Printf("tree: %d leaves, depth %d, train acc %.3f, test acc %.3f\n",
 			tree.NumLeaves(), tree.Depth(),
 			tree.Accuracy(train.X, train.Y), tree.Accuracy(test.X, test.Y))
@@ -105,15 +118,12 @@ func main() {
 		}
 		sizes = append(sizes, train.Classes())
 		net := nn.NewMaxout(rng, *pieces, sizes...)
-		loss, err := net.Train(rng, train.X, train.Y, nn.TrainConfig{
-			Epochs: *epochs,
-			Progress: func(e int, l float64) {
-				fmt.Printf("  epoch %d: loss %.4f\n", e, l)
-			},
-		})
+		start := time.Now()
+		loss, err := net.Train(rng, train.X, train.Y, trainCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("trained in %v (%s)\n", time.Since(start).Round(time.Millisecond), pathName)
 		fmt.Printf("final loss %.4f, train acc %.3f, test acc %.3f\n",
 			loss, net.Accuracy(train.X, train.Y), net.Accuracy(test.X, test.Y))
 		if err := net.Save(*out); err != nil {

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/lmt"
@@ -82,6 +83,11 @@ type Workbench struct {
 	Test   *dataset.Dataset
 	PLNN   *openbox.PLNN
 	LMT    *lmt.Tree
+	// Per-model wall-clock training times, so experiment reports show
+	// where workbench construction spends its budget (the PLNN trains on
+	// the batched GEMM epoch since PR 5).
+	PLNNTrainTime time.Duration
+	LMTTrainTime  time.Duration
 }
 
 // ModelEntry names one target model of a workbench.
@@ -112,6 +118,7 @@ func NewWorkbench(cfg WorkbenchConfig) (*Workbench, error) {
 	sizes := append([]int{train.Dim()}, cfg.Hidden...)
 	sizes = append(sizes, train.Classes())
 	net := nn.New(rng, sizes...)
+	nnStart := time.Now()
 	if _, err := net.Train(rng, train.X, train.Y, nn.TrainConfig{
 		Epochs:       cfg.NNEpochs,
 		LearningRate: 0.1,
@@ -119,18 +126,22 @@ func NewWorkbench(cfg WorkbenchConfig) (*Workbench, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("eval: train PLNN: %w", err)
 	}
+	nnTime := time.Since(nnStart)
 
+	lmtStart := time.Now()
 	tree, err := lmt.Train(rng, train.X, train.Y, train.Classes(), cfg.LMT)
 	if err != nil {
 		return nil, fmt.Errorf("eval: train LMT: %w", err)
 	}
 
 	return &Workbench{
-		Config: cfg,
-		Train:  train,
-		Test:   test,
-		PLNN:   &openbox.PLNN{Net: net},
-		LMT:    tree,
+		Config:        cfg,
+		Train:         train,
+		Test:          test,
+		PLNN:          &openbox.PLNN{Net: net},
+		LMT:           tree,
+		PLNNTrainTime: nnTime,
+		LMTTrainTime:  time.Since(lmtStart),
 	}, nil
 }
 

@@ -129,6 +129,17 @@ func (m *Dense) SetCol(j int, v Vec) {
 	}
 }
 
+// RowsView returns the first r rows of m as a matrix sharing m's storage —
+// no copy. Writes through the view write through to m. It exists so pooled
+// per-batch scratch allocated at the full mini-batch size can serve a
+// smaller remainder batch without reallocating.
+func (m *Dense) RowsView(r int) *Dense {
+	if r < 0 || r > m.rows {
+		panic(fmt.Sprintf("mat: RowsView %d out of range %d", r, m.rows))
+	}
+	return &Dense{rows: r, cols: m.cols, data: m.data[:r*m.cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
 	out := NewDense(m.rows, m.cols)

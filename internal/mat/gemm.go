@@ -69,6 +69,26 @@ func getScratch(n int) *[]float64 {
 
 func putScratch(s *[]float64) { scratchPool.Put(s) }
 
+// denseScratchPool pools transposed-operand headers together with their
+// backing storage. The headers must be pooled too: the transposed operand
+// is captured by the parallelRows closure, so a stack-local Dense would
+// escape and heap-allocate on every call — visible as per-batch garbage in
+// the training loop.
+var denseScratchPool = sync.Pool{New: func() any { return new(Dense) }}
+
+func getScratchDense(r, c int) *Dense {
+	d := denseScratchPool.Get().(*Dense)
+	n := r * c
+	if cap(d.data) < n {
+		d.data = make([]float64, n)
+	}
+	d.data = d.data[:n]
+	d.rows, d.cols = r, c
+	return d
+}
+
+func putScratchDense(d *Dense) { denseScratchPool.Put(d) }
+
 // MulVecInto computes dst = m * x without allocating; dst must have length
 // m.Rows() and must not alias x. It returns dst. Results are bit-identical
 // to MulVec.
@@ -129,8 +149,7 @@ func (m *Dense) MulInto(b, dst *Dense) *Dense {
 		panic(fmt.Sprintf("mat: MulInto dst %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, b.cols))
 	}
 	checkNoAlias("MulInto", dst, m, b)
-	sp := getScratch(b.rows * b.cols)
-	bt := Dense{rows: b.cols, cols: b.rows, data: *sp}
+	bt := getScratchDense(b.cols, b.rows)
 	for i := 0; i < b.rows; i++ {
 		row := b.data[i*b.cols : (i+1)*b.cols]
 		for j, v := range row {
@@ -139,11 +158,61 @@ func (m *Dense) MulInto(b, dst *Dense) *Dense {
 	}
 	flops := m.rows * m.cols * b.cols
 	if w := workers(); w > 1 && flops >= parallelFlopCutoff && m.rows > 1 {
-		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, &bt, lo, hi) })
+		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, bt, lo, hi) })
 	} else {
-		gemmBT(dst, m, &bt, 0, m.rows)
+		gemmBT(dst, m, bt, 0, m.rows)
 	}
-	putScratch(sp)
+	putScratchDense(bt)
+	return dst
+}
+
+// MulAT returns mᵀ * b as a new matrix: out[i][j] = Σ_k m[k][i]·b[k][j].
+// The shared k dimension is the row dimension of both operands, which makes
+// this the natural kernel for batched backprop weight gradients
+// (dW = deltaᵀ · activations, summed over the mini-batch).
+func (m *Dense) MulAT(b *Dense) *Dense {
+	out := NewDense(m.cols, b.cols)
+	m.MulATInto(b, out)
+	return out
+}
+
+// MulATInto computes dst = mᵀ * b into dst, which must be m.Cols() by
+// b.Cols() and must not alias m or b. Both operands are packed transposed
+// into pooled scratch so the blocked kernel runs on contiguous rows. Every
+// output element is one ascending-k mul-then-add chain over the shared row
+// dimension — the same order a per-sample accumulation loop over rows
+// 0,1,2,… uses — so batched gradient sums are bit-identical to sequential
+// per-sample accumulation. It returns dst.
+func (m *Dense) MulATInto(b, dst *Dense) *Dense {
+	if m.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulAT (%dx%d)ᵀ by %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	if dst.rows != m.cols || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulATInto dst %dx%d, want %dx%d", dst.rows, dst.cols, m.cols, b.cols))
+	}
+	checkNoAlias("MulATInto", dst, m, b)
+	at := getScratchDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			at.data[j*at.cols+i] = v
+		}
+	}
+	bt := getScratchDense(b.cols, b.rows)
+	for i := 0; i < b.rows; i++ {
+		row := b.data[i*b.cols : (i+1)*b.cols]
+		for j, v := range row {
+			bt.data[j*bt.cols+i] = v
+		}
+	}
+	flops := m.cols * m.rows * b.cols
+	if w := workers(); w > 1 && flops >= parallelFlopCutoff && at.rows > 1 {
+		parallelRows(at.rows, w, func(lo, hi int) { gemmBT(dst, at, bt, lo, hi) })
+	} else {
+		gemmBT(dst, at, bt, 0, at.rows)
+	}
+	putScratchDense(bt)
+	putScratchDense(at)
 	return dst
 }
 

@@ -8,6 +8,13 @@ func cpuHasAVX2() bool
 // out[4j+l] = Σ_t pack[4t+l]·bj[t]. Implemented in gemm_amd64.s with AVX2
 // mul-then-add per lane, bit-identical to scalar evaluation. Callers must
 // have checked useAVX2 and k > 0.
+//
+// The assembly only dereferences its pointers during the call and retains
+// none of them, so the noescape pragma is sound; without it every gemmBT
+// call heap-allocates its 16-element accumulator tile, which dominated the
+// allocation profile of batched training.
+//
+//go:noescape
 func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64)
 
 // useAVX2 gates the vector microkernel; resolved once at startup.

@@ -89,6 +89,91 @@ func TestMulVecIntoBitIdenticalToMulVec(t *testing.T) {
 	}
 }
 
+// TestMulATBitIdenticalToSequentialAccumulation pins the contract batched
+// backprop relies on: mᵀ·b equals accumulating rank-1 row outer products
+// row by row in ascending order — the arithmetic a per-sample gradient loop
+// performs — bit for bit.
+func TestMulATBitIdenticalToSequentialAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range [][3]int{{1, 1, 1}, {5, 3, 4}, {8, 4, 2}, {17, 9, 6}, {3, 1, 7}, {0, 2, 3}} {
+		k, r, c := shape[0], shape[1], shape[2]
+		m := randDense(rng, k, r)
+		b := randDense(rng, k, c)
+		want := NewDense(r, c)
+		for row := 0; row < k; row++ { // ascending-row accumulation
+			for i := 0; i < r; i++ {
+				for j := 0; j < c; j++ {
+					want.Set(i, j, want.At(i, j)+m.At(row, i)*b.At(row, j))
+				}
+			}
+		}
+		bitEqual(t, m.MulAT(b), want, "MulAT")
+		bitEqual(t, m.MulAT(b), m.T().Mul(b), "MulAT vs T().Mul")
+	}
+}
+
+func TestMulATWorkerCountDoesNotChangeBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	// Big enough to clear the parallel cutoff.
+	m := randDense(rng, 130, 129)
+	b := randDense(rng, 130, 67)
+
+	prev := SetWorkers(1)
+	serial := m.MulAT(b)
+	SetWorkers(4)
+	parallel := m.MulAT(b)
+	SetWorkers(prev)
+
+	bitEqual(t, parallel, serial, "MulAT workers=4 vs workers=1")
+}
+
+func TestMulATIntoShapeAndAliasPanics(t *testing.T) {
+	m := NewDense(4, 3)
+	b := NewDense(4, 5)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"k mismatch", func() { NewDense(3, 3).MulATInto(b, NewDense(3, 5)) }},
+		{"dst shape", func() { m.MulATInto(b, NewDense(3, 4)) }},
+		{"aliased dst", func() {
+			sq := NewDense(4, 4)
+			sq.MulATInto(NewDense(4, 4), sq)
+		}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestRowsViewSharesStorage(t *testing.T) {
+	m := NewDenseFrom(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	v := m.RowsView(2)
+	if v.Rows() != 2 || v.Cols() != 2 || v.At(1, 1) != 4 {
+		t.Fatalf("view = %v", v)
+	}
+	v.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("view write did not reach the backing matrix")
+	}
+	for _, r := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RowsView(%d): expected panic", r)
+				}
+			}()
+			m.RowsView(r)
+		}()
+	}
+}
+
 func TestMulWorkerCountDoesNotChangeBits(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	// Big enough to clear the parallel cutoff.

@@ -8,6 +8,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/mat"
@@ -38,21 +39,32 @@ func ReLUMask(x mat.Vec) []bool {
 // Softmax returns the softmax of z with the max-subtraction trick, so it is
 // finite for any finite input. The output sums to 1.
 func Softmax(z mat.Vec) mat.Vec {
+	return SoftmaxInto(make(mat.Vec, len(z)), z)
+}
+
+// SoftmaxInto writes softmax(z) into dst, which must have the same length
+// and may alias z, and returns dst. Softmax delegates here, so the two are
+// bit-identical by construction — a contract the training parity tests
+// rely on; the variant exists so the batched training path can reuse one
+// row buffer per mini-batch instead of allocating per sample.
+func SoftmaxInto(dst, z mat.Vec) mat.Vec {
+	if len(dst) != len(z) {
+		panic(fmt.Sprintf("nn: SoftmaxInto dst length %d != %d", len(dst), len(z)))
+	}
 	if len(z) == 0 {
-		return mat.Vec{}
+		return dst
 	}
 	m := z.Max()
-	out := make(mat.Vec, len(z))
 	var sum float64
 	for i, v := range z {
 		e := math.Exp(v - m)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
 }
 
 // LogSoftmax returns log(softmax(z)) computed stably.

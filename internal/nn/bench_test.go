@@ -58,6 +58,69 @@ func BenchmarkPredictBatch256(b *testing.B) {
 	}
 }
 
+// The PR-5 headline benchmarks: one full training epoch over 256 samples
+// of the paper's image architecture, per-sample reference loop versus the
+// batched GEMM path. Both produce bit-identical weights (see the Train
+// parity tests); only the schedule differs.
+
+func benchTrainSetup(b *testing.B) (*Network, []mat.Vec, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(44))
+	n := New(rng, 784, 256, 128, 100, 10)
+	xs := randBatch(rng, benchBatch, 784)
+	ys := make([]int, len(xs))
+	for i := range ys {
+		ys[i] = rng.Intn(10)
+	}
+	return n, xs, ys
+}
+
+func benchTrainEpoch(b *testing.B, perSample bool) {
+	base, xs, ys := benchTrainSetup(b)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 64, PerSample: perSample}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := base.Clone()
+		rng := rand.New(rand.NewSource(45))
+		b.StartTimer()
+		if _, err := net.Train(rng, xs, ys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpoch_PerSample(b *testing.B) { benchTrainEpoch(b, true) }
+
+func BenchmarkTrainEpoch_Batched(b *testing.B) { benchTrainEpoch(b, false) }
+
+func benchMaxoutTrainEpoch(b *testing.B, perSample bool) {
+	rng := rand.New(rand.NewSource(46))
+	base := NewMaxout(rng, 3, 128, 64, 32, 10)
+	xs := randBatch(rng, benchBatch, 128)
+	ys := make([]int, len(xs))
+	for i := range ys {
+		ys[i] = rng.Intn(10)
+	}
+	cfg := TrainConfig{Epochs: 1, BatchSize: 32, PerSample: perSample}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := base.Clone()
+		r := rand.New(rand.NewSource(47))
+		b.StartTimer()
+		if _, err := net.Train(r, xs, ys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochMaxout_PerSample(b *testing.B) { benchMaxoutTrainEpoch(b, true) }
+
+func BenchmarkTrainEpochMaxout_Batched(b *testing.B) { benchMaxoutTrainEpoch(b, false) }
+
 func BenchmarkMaxoutLogitsBatch64(b *testing.B) {
 	rng := rand.New(rand.NewSource(43))
 	n := NewMaxout(rng, 3, 128, 64, 32, 10)

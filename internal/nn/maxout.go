@@ -226,87 +226,183 @@ func (n *MaxoutNetwork) InputGradient(x mat.Vec, c int) mat.Vec {
 	return w.Row(c)
 }
 
-// TrainMaxout runs mini-batch SGD on the MaxOut network. Gradients flow
-// through the winning piece of each unit only (the max is locally that
-// piece). Returns the mean loss of the final epoch.
-func (n *MaxoutNetwork) Train(rng *rand.Rand, xs []mat.Vec, labels []int, cfg TrainConfig) (float64, error) {
-	if len(xs) == 0 {
-		return 0, fmt.Errorf("nn: empty training set")
-	}
-	if len(xs) != len(labels) {
-		return 0, fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(labels))
-	}
-	for i, y := range labels {
-		if y < 0 || y >= n.Classes() {
-			return 0, fmt.Errorf("nn: label %d of sample %d out of range", y, i)
-		}
-	}
-	cfg.setDefaults()
-	var lastLoss float64
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
-		order := rng.Perm(len(xs))
-		var epochLoss float64
-		for start := 0; start < len(order); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
-			}
-			lr := cfg.LearningRate / float64(end-start)
-			for _, idx := range order[start:end] {
-				epochLoss += n.sgdStep(xs[idx], labels[idx], lr)
-			}
-		}
-		lastLoss = epochLoss / float64(len(xs))
-		if cfg.Progress != nil {
-			cfg.Progress(epoch, lastLoss)
-		}
-	}
-	return lastLoss, nil
+// maxoutGradients accumulates parameter gradients for one mini-batch of
+// MaxOut training: one (dW, dB) pair per affine piece per hidden layer,
+// plus the linear read-out.
+type maxoutGradients struct {
+	hidden [][]gradPair
+	out    gradPair
 }
 
-// sgdStep applies one per-sample SGD update and returns the sample loss.
-func (n *MaxoutNetwork) sgdStep(x mat.Vec, label int, lr float64) float64 {
+// gradPair is the gradient accumulator of one affine map.
+type gradPair struct {
+	dW *mat.Dense
+	dB mat.Vec
+}
+
+func newMaxoutGradients(n *MaxoutNetwork) *maxoutGradients {
+	g := &maxoutGradients{hidden: make([][]gradPair, len(n.hidden))}
+	for li, l := range n.hidden {
+		pairs := make([]gradPair, l.K())
+		for p, piece := range l.Pieces {
+			pairs[p] = gradPair{
+				dW: mat.NewDense(piece.W.Rows(), piece.W.Cols()),
+				dB: mat.NewVec(len(piece.B)),
+			}
+		}
+		g.hidden[li] = pairs
+	}
+	g.out = gradPair{dW: mat.NewDense(n.out.W.Rows(), n.out.W.Cols()), dB: mat.NewVec(len(n.out.B))}
+	return g
+}
+
+func (g *maxoutGradients) zero() {
+	zeroPair := func(p *gradPair) {
+		for r := 0; r < p.dW.Rows(); r++ {
+			p.dW.RawRow(r).Fill(0)
+		}
+		p.dB.Fill(0)
+	}
+	for li := range g.hidden {
+		for p := range g.hidden[li] {
+			zeroPair(&g.hidden[li][p])
+		}
+	}
+	zeroPair(&g.out)
+}
+
+// paramBlocks pairs every parameter span with its gradient accumulator, in
+// layer order: each hidden layer's pieces (rows of W, then B), then the
+// read-out.
+func (n *MaxoutNetwork) paramBlocks(g *maxoutGradients) []paramBlock {
+	var blocks []paramBlock
+	affine := func(l *Layer, gp *gradPair) {
+		for r := 0; r < l.W.Rows(); r++ {
+			blocks = append(blocks, paramBlock{w: l.W.RawRow(r), g: gp.dW.RawRow(r)})
+		}
+		blocks = append(blocks, paramBlock{w: l.B, g: gp.dB, bias: true})
+	}
+	for li := range n.hidden {
+		for p := range n.hidden[li].Pieces {
+			affine(&n.hidden[li].Pieces[p], &g.hidden[li][p])
+		}
+	}
+	affine(&n.out, &g.out)
+	return blocks
+}
+
+// accumulate runs one forward/backward pass for (x, label), adds the
+// parameter gradients into g, and returns the sample's cross-entropy loss.
+// Gradients flow through the winning piece of every unit only — inside the
+// sample's locally linear region, the max IS that piece. The loop nesting
+// mirrors the batched path's per-piece GEMM schedule (one partial delta sum
+// per piece, summed piece-ascending), so both paths accumulate every
+// gradient in the same order and stay bit-identical.
+func (n *MaxoutNetwork) accumulate(g *maxoutGradients, x mat.Vec, label int) float64 {
 	st := n.forward(x)
 	probs := Softmax(st.logits)
 	loss := CrossEntropy(probs, label)
 	delta := probs.Clone()
 	delta[label] -= 1
 
-	// Output layer.
-	last := st.acts[len(st.acts)-1]
+	// Read-out layer: dW += delta ⊗ h_last ; dB += delta.
+	hlast := st.acts[len(st.acts)-1]
 	for r, dr := range delta {
-		if dr == 0 {
-			continue
+		row := g.out.dW.RawRow(r)
+		for c, av := range hlast {
+			row[c] += dr * av
 		}
-		row := n.out.W.RawRow(r)
-		for c, av := range last {
-			row[c] -= lr * dr * av
-		}
-		n.out.B[r] -= lr * dr
 	}
-	// Backprop into the last hidden activation.
-	g := n.out.W.MulVecT(delta)
-	// Hidden layers, last to first; gradient reaches only winning pieces.
+	g.out.dB.AddInPlace(delta)
+
+	// Backprop into the last hidden activation, then through the winners.
+	gv := n.out.W.MulVecT(delta)
 	for li := len(n.hidden) - 1; li >= 0; li-- {
 		l := n.hidden[li]
 		in := st.acts[li]
-		nextG := mat.NewVec(len(in))
-		for j := 0; j < l.Out(); j++ {
-			gj := g[j]
-			if gj == 0 {
-				continue
-			}
-			piece := l.Pieces[st.winners[li][j]]
-			row := piece.W.RawRow(j)
-			for c, iv := range in {
-				nextG[c] += row[c] * gj
-				row[c] -= lr * gj * iv
-			}
-			piece.B[j] -= lr * gj
+		win := st.winners[li]
+		var next mat.Vec
+		if li > 0 {
+			next = mat.NewVec(len(in))
 		}
-		g = nextG
+		for p := range l.Pieces {
+			gp := &g.hidden[li][p]
+			var sp mat.Vec
+			if li > 0 {
+				sp = mat.NewVec(len(in))
+			}
+			for j, gj := range gv {
+				if win[j] != p {
+					continue
+				}
+				row := gp.dW.RawRow(j)
+				for c, iv := range in {
+					row[c] += gj * iv
+				}
+				gp.dB[j] += gj
+				if li > 0 {
+					wrow := l.Pieces[p].W.RawRow(j)
+					for c, wv := range wrow {
+						sp[c] += gj * wv
+					}
+				}
+			}
+			if li > 0 {
+				next.AddInPlace(sp)
+			}
+		}
+		if li > 0 {
+			gv = next
+		}
 	}
 	return loss
+}
+
+// Train runs mini-batch training on the MaxOut network with the same
+// optimizer semantics as Network.Train (SGD with momentum, Adam, weight
+// decay). Gradients flow through the winning piece of each unit only (the
+// max is locally that piece). By default the whole mini-batch flows through
+// the network as matrices — per-piece GEMMs with winner-routed masking, see
+// train_batch.go — bit-identical to the per-sample reference loop
+// (cfg.PerSample). Returns the mean loss of the final epoch.
+func (n *MaxoutNetwork) Train(rng *rand.Rand, xs []mat.Vec, labels []int, cfg TrainConfig) (float64, error) {
+	if err := checkTrainingSet(xs, labels, n.Classes()); err != nil {
+		return 0, err
+	}
+	cfg.setDefaults()
+	grads := newMaxoutGradients(n)
+	blocks := n.paramBlocks(grads)
+	var accumulate func(batch []int) float64
+	if cfg.PerSample {
+		accumulate = func(batch []int) float64 {
+			grads.zero()
+			var loss float64
+			for _, idx := range batch {
+				loss += n.accumulate(grads, xs[idx], labels[idx])
+			}
+			return loss
+		}
+	} else {
+		s := newMaxoutScratch(n, batchCap(cfg.BatchSize, len(xs)))
+		accumulate = func(batch []int) float64 {
+			return n.accumulateBatch(s, grads, xs, labels, batch)
+		}
+	}
+	return runEpochs(rng, len(xs), &cfg, blocks, accumulate), nil
+}
+
+// Clone returns a deep copy of the network.
+func (n *MaxoutNetwork) Clone() *MaxoutNetwork {
+	out := &MaxoutNetwork{hidden: make([]MaxoutLayer, len(n.hidden))}
+	for li, l := range n.hidden {
+		pieces := make([]Layer, l.K())
+		for p, piece := range l.Pieces {
+			pieces[p] = Layer{W: piece.W.Clone(), B: piece.B.Clone()}
+		}
+		out.hidden[li] = MaxoutLayer{Pieces: pieces}
+	}
+	out.out = Layer{W: n.out.W.Clone(), B: n.out.B.Clone()}
+	return out
 }
 
 // Accuracy returns the fraction of xs classified as labels.

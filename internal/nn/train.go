@@ -42,6 +42,12 @@ type TrainConfig struct {
 	Beta1        float64   // Adam first-moment decay (default 0.9)
 	Beta2        float64   // Adam second-moment decay (default 0.999)
 	Verbose      bool      // log per-epoch loss via the Progress callback
+	// PerSample forces the reference per-sample training loop instead of
+	// the batched GEMM epoch. Both paths produce bit-identical weights
+	// given the same seed and batch order (pinned by the Train parity
+	// tests); the knob exists for those tests, for the epoch benchmarks,
+	// and for A/B timing from cmd/plmtrain.
+	PerSample bool
 	// Progress, when non-nil, is called after each epoch with the epoch
 	// index (1-based) and the mean training loss of that epoch.
 	Progress func(epoch int, loss float64)
@@ -75,6 +81,133 @@ func (c *TrainConfig) setDefaults() {
 	}
 }
 
+// checkTrainingSet validates a training set against a model's class count.
+func checkTrainingSet(xs []mat.Vec, labels []int, classes int) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	if len(xs) != len(labels) {
+		return fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(labels))
+	}
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			return fmt.Errorf("nn: label %d of sample %d out of range [0,%d)", y, i, classes)
+		}
+	}
+	return nil
+}
+
+// batchCap bounds the pooled scratch row capacity: no mini-batch is ever
+// larger than the training set.
+func batchCap(batchSize, n int) int {
+	if batchSize > n {
+		return n
+	}
+	return batchSize
+}
+
+// paramBlock pairs one contiguous parameter span with its gradient
+// accumulator. The optimizer updates every element independently, so block
+// granularity never affects the update arithmetic — blocks exist so one
+// update implementation serves Network and MaxoutNetwork, per-sample and
+// batched alike.
+type paramBlock struct {
+	w, g []float64
+	bias bool // biases skip weight decay under SGD (seed semantics)
+}
+
+// optimizer holds the per-parameter state of the update rule — the SGD
+// velocity or the Adam moments — one slot span per block.
+type optimizer struct {
+	cfg      *TrainConfig
+	adamStep int
+	m1, m2   [][]float64
+}
+
+func newOptimizer(cfg *TrainConfig, blocks []paramBlock) *optimizer {
+	o := &optimizer{cfg: cfg, m1: make([][]float64, len(blocks))}
+	for i, b := range blocks {
+		o.m1[i] = make([]float64, len(b.w))
+	}
+	if cfg.Optimizer == Adam {
+		o.m2 = make([][]float64, len(blocks))
+		for i, b := range blocks {
+			o.m2[i] = make([]float64, len(b.w))
+		}
+	}
+	return o
+}
+
+// step applies one mini-batch update to every block. The elementwise
+// arithmetic is shared by the per-sample and batched paths, so identical
+// gradient accumulators yield bit-identical weights.
+func (o *optimizer) step(blocks []paramBlock, batchLen int) {
+	cfg := o.cfg
+	invBatch := 1 / float64(batchLen)
+	switch cfg.Optimizer {
+	case Adam:
+		o.adamStep++
+		bc1 := 1 - math.Pow(cfg.Beta1, float64(o.adamStep))
+		bc2 := 1 - math.Pow(cfg.Beta2, float64(o.adamStep))
+		for i, blk := range blocks {
+			m1, m2 := o.m1[i], o.m2[i]
+			for c := range blk.w {
+				gc := blk.g[c]*invBatch + cfg.WeightDecay*blk.w[c]
+				m1[c] = cfg.Beta1*m1[c] + (1-cfg.Beta1)*gc
+				m2[c] = cfg.Beta2*m2[c] + (1-cfg.Beta2)*gc*gc
+				mhat := m1[c] / bc1
+				vhat := m2[c] / bc2
+				blk.w[c] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + 1e-8)
+			}
+		}
+	default: // SGD with momentum
+		scale := cfg.LearningRate * invBatch
+		for i, blk := range blocks {
+			// v = mu*v - lr*(g/|B| + wd*W); W += v. Biases are not decayed,
+			// matching the pre-batching update rule exactly (Adam above
+			// decays both, also as before).
+			wd := cfg.WeightDecay
+			if blk.bias {
+				wd = 0
+			}
+			v := o.m1[i]
+			for c := range blk.w {
+				v[c] = cfg.Momentum*v[c] - scale*blk.g[c] - cfg.LearningRate*wd*blk.w[c]
+				blk.w[c] += v[c]
+			}
+		}
+	}
+}
+
+// runEpochs drives the shared training schedule — per-epoch shuffle,
+// mini-batch slicing, optimizer step — for every family/path combination.
+// accumulate must (re)fill the gradient accumulators behind blocks for the
+// given batch of sample indices and return the summed batch loss. The RNG
+// is consumed identically (one Perm per epoch) on every path, so switching
+// paths never changes the batch order.
+func runEpochs(rng *rand.Rand, nSamples int, cfg *TrainConfig, blocks []paramBlock, accumulate func(batch []int) float64) float64 {
+	opt := newOptimizer(cfg, blocks)
+	var lastLoss float64
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		order := rng.Perm(nSamples)
+		var epochLoss float64
+		for start := 0; start < nSamples; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > nSamples {
+				end = nSamples
+			}
+			batch := order[start:end]
+			epochLoss += accumulate(batch)
+			opt.step(blocks, len(batch))
+		}
+		lastLoss = epochLoss / float64(nSamples)
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lastLoss)
+		}
+	}
+	return lastLoss
+}
+
 // gradients accumulates parameter gradients for one mini-batch.
 type gradients struct {
 	dW []*mat.Dense
@@ -106,8 +239,22 @@ func (g *gradients) zero() {
 	}
 }
 
+// paramBlocks pairs every parameter span of the network with its gradient
+// accumulator, in layer order: the rows of W, then B.
+func (n *Network) paramBlocks(g *gradients) []paramBlock {
+	var blocks []paramBlock
+	for i, l := range n.layers {
+		for r := 0; r < l.W.Rows(); r++ {
+			blocks = append(blocks, paramBlock{w: l.W.RawRow(r), g: g.dW[i].RawRow(r)})
+		}
+		blocks = append(blocks, paramBlock{w: l.B, g: g.dB[i], bias: true})
+	}
+	return blocks
+}
+
 // accumulate runs one forward/backward pass for (x, label), adds the
 // parameter gradients into g, and returns the sample's cross-entropy loss.
+// This is the per-sample reference the batched path must match bit for bit.
 func (n *Network) accumulate(g *gradients, x mat.Vec, label int) float64 {
 	st := n.forward(x)
 	last := len(n.layers) - 1
@@ -147,93 +294,41 @@ func (n *Network) accumulate(g *gradients, x mat.Vec, label int) float64 {
 	return loss
 }
 
-// Train runs mini-batch SGD over (xs, labels) and returns the mean loss of
-// the final epoch. The shuffle order is drawn from rng, so training is
-// reproducible given the seed.
+// Train runs mini-batch training over (xs, labels) and returns the mean
+// loss of the final epoch. The shuffle order is drawn from rng, so training
+// is reproducible given the seed. By default the whole mini-batch flows
+// through the network as matrices — one GEMM per layer forward, one
+// transpose-A GEMM per layer for the weight gradients, one GEMM per layer
+// for delta propagation (see train_batch.go) — producing weights
+// bit-identical to the per-sample reference loop (cfg.PerSample) at a
+// fraction of the wall-clock.
 func (n *Network) Train(rng *rand.Rand, xs []mat.Vec, labels []int, cfg TrainConfig) (float64, error) {
-	if len(xs) == 0 {
-		return 0, fmt.Errorf("nn: empty training set")
-	}
-	if len(xs) != len(labels) {
-		return 0, fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(labels))
-	}
-	for i, y := range labels {
-		if y < 0 || y >= n.Classes() {
-			return 0, fmt.Errorf("nn: label %d of sample %d out of range [0,%d)", y, i, n.Classes())
-		}
+	if err := checkTrainingSet(xs, labels, n.Classes()); err != nil {
+		return 0, err
 	}
 	cfg.setDefaults()
-
 	grads := newGradients(n)
-	moment1 := newGradients(n) // SGD velocity / Adam first moment
-	var moment2 *gradients     // Adam second moment
-	if cfg.Optimizer == Adam {
-		moment2 = newGradients(n)
-	}
-	adamStep := 0
-	var lastLoss float64
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
-		order := rng.Perm(len(xs))
-		var epochLoss float64
-		for start := 0; start < len(order); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
-			}
-			batch := order[start:end]
+	blocks := n.paramBlocks(grads)
+	var accumulate func(batch []int) float64
+	if cfg.PerSample {
+		accumulate = func(batch []int) float64 {
 			grads.zero()
+			var loss float64
 			for _, idx := range batch {
-				epochLoss += n.accumulate(grads, xs[idx], labels[idx])
+				loss += n.accumulate(grads, xs[idx], labels[idx])
 			}
-			invBatch := 1 / float64(len(batch))
-			switch cfg.Optimizer {
-			case Adam:
-				adamStep++
-				bc1 := 1 - math.Pow(cfg.Beta1, float64(adamStep))
-				bc2 := 1 - math.Pow(cfg.Beta2, float64(adamStep))
-				update := func(w, g, m1, m2 []float64) {
-					for c := range w {
-						gc := g[c]*invBatch + cfg.WeightDecay*w[c]
-						m1[c] = cfg.Beta1*m1[c] + (1-cfg.Beta1)*gc
-						m2[c] = cfg.Beta2*m2[c] + (1-cfg.Beta2)*gc*gc
-						mhat := m1[c] / bc1
-						vhat := m2[c] / bc2
-						w[c] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + 1e-8)
-					}
-				}
-				for i, l := range n.layers {
-					for r := 0; r < l.W.Rows(); r++ {
-						update(l.W.RawRow(r), grads.dW[i].RawRow(r),
-							moment1.dW[i].RawRow(r), moment2.dW[i].RawRow(r))
-					}
-					update(l.B, grads.dB[i], moment1.dB[i], moment2.dB[i])
-				}
-			default: // SGD with momentum
-				scale := cfg.LearningRate * invBatch
-				for i, l := range n.layers {
-					// v = mu*v - lr*(g/|B| + wd*W); W += v
-					for r := 0; r < l.W.Rows(); r++ {
-						wrow := l.W.RawRow(r)
-						grow := grads.dW[i].RawRow(r)
-						vrow := moment1.dW[i].RawRow(r)
-						for c := range wrow {
-							vrow[c] = cfg.Momentum*vrow[c] - scale*grow[c] - cfg.LearningRate*cfg.WeightDecay*wrow[c]
-							wrow[c] += vrow[c]
-						}
-					}
-					for j := range l.B {
-						moment1.dB[i][j] = cfg.Momentum*moment1.dB[i][j] - scale*grads.dB[i][j]
-						l.B[j] += moment1.dB[i][j]
-					}
-				}
-			}
+			return loss
 		}
-		lastLoss = epochLoss / float64(len(xs))
-		if cfg.Progress != nil {
-			cfg.Progress(epoch, lastLoss)
+	} else {
+		// The batched path overwrites every accumulator (transpose-A GEMM
+		// for dW, column sums for dB), so grads needs no per-batch zeroing
+		// and the scratch is reused across batches and epochs.
+		s := newNetScratch(n, batchCap(cfg.BatchSize, len(xs)))
+		accumulate = func(batch []int) float64 {
+			return n.accumulateBatch(s, grads, xs, labels, batch)
 		}
 	}
-	return lastLoss, nil
+	return runEpochs(rng, len(xs), &cfg, blocks, accumulate), nil
 }
 
 // Loss returns the mean cross-entropy of the network over (xs, labels).

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench_trajectory.sh — run the committed benchmark-trajectory sets (PR 3:
+# compute fast path, PR 4: heterogeneous shards, PR 5: batched training
+# epoch), merge the results into one JSON file, and gate them against the
+# committed snapshots with `benchjson -compare`.
+#
+# Usage (from anywhere inside the repo; CI runs it verbatim):
+#
+#   scripts/bench_trajectory.sh [out.json]
+#
+# Environment:
+#   BENCH_TOL   allowed fractional ns/op regression vs snapshot (default 0.35)
+#
+# Exits non-zero when any committed trajectory benchmark regressed past the
+# tolerance or vanished from the run. Benchmarks added since the snapshots
+# ride along without being gated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ci.json}"
+tol="${BENCH_TOL:-0.35}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Each bench run writes to its own file so a failure in any of them fails
+# the script (a piped brace group would only surface the last command's
+# exit status).
+echo "== PR 3 set: batched forward, region-cached extraction, GEMM kernels"
+go test -run='^$' -bench='Logits(Loop|Batch)256|Predict(Loop|Batch)256|MaxoutLogits' -benchtime=20x ./internal/nn/ >"$tmp/nn.txt"
+go test -run='^$' -bench='Extract' -benchtime=20x ./internal/openbox/ >"$tmp/openbox.txt"
+go test -run='^$' -bench='Mul(BT|Naive)?_256' -benchtime=10x ./internal/mat/ >"$tmp/mat.txt"
+
+echo "== PR 4 set: heterogeneous shard topologies"
+go test -run='^$' -bench='BenchmarkShard_(Local4|Remote2Local2)' -benchtime=20x ./internal/api/ >"$tmp/shard.txt"
+
+echo "== PR 5 set: batched training epoch"
+go test -run='^$' -bench='BenchmarkTrainEpoch' -benchtime=10x ./internal/nn/ >"$tmp/train.txt"
+
+cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt |
+	go run ./cmd/benchjson -out "$out" \
+		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json -tol "$tol"
