@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow-annotations are the audited escape hatch: a comment of the form
+//
+//	//plmvet:allow(lockheld) single-flight fast path; see invariant note
+//
+// suppresses the named analyzers' diagnostics on the comment's own line and
+// on the line immediately below it. The annotation names one or more
+// analyzers (comma-separated) so a justification for manual lock
+// choreography does not also silence, say, a detfloat finding on the same
+// line. Everything after the closing parenthesis is free-form justification
+// and is ignored by the tooling but required by review convention.
+
+const allowPrefix = "//plmvet:allow("
+
+// allowSite is one annotation: the file it lives in, the line it occupies,
+// and the analyzers it names.
+type allowSite struct {
+	names map[string]bool
+}
+
+// allowSet indexes annotations by (filename, line).
+type allowSet map[allowKey]allowSite
+
+type allowKey struct {
+	file string
+	line int
+}
+
+// collectAllows gathers every //plmvet:allow annotation in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := allowKey{file: pos.Filename, line: pos.Line}
+				site, exists := set[key]
+				if !exists {
+					site = allowSite{names: make(map[string]bool)}
+				}
+				for _, n := range names {
+					site.names[n] = true
+				}
+				set[key] = site
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow extracts the analyzer names from a comment if it is an
+// allow-annotation.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil, false
+	}
+	names, _, ok := strings.Cut(rest, ")")
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out, len(out) > 0
+}
+
+// allowed reports whether d is suppressed: an annotation naming d's analyzer
+// sits on the diagnostic's line or the line above it.
+func (s allowSet) allowed(fset *token.FileSet, d Diagnostic) bool {
+	if len(s) == 0 {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if site, ok := s[allowKey{file: pos.Filename, line: line}]; ok && site.names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Atomicfield enforces all-or-nothing atomicity per struct field: a field
+// that is ever passed to a sync/atomic function (atomic.AddInt64(&s.n, 1)
+// and friends) must be accessed through sync/atomic at every other site in
+// the package. A single plain read of such a field is a data race the
+// moment the atomic writer runs concurrently — and on the /stats paths the
+// racy read surfaces as a torn or stale counter, which the benchmark
+// trajectory then records as a real regression.
+//
+// The typed atomics (atomic.Int64 et al.) make this mistake impossible by
+// construction and are the repository's preferred idiom; this analyzer
+// exists so the function-style escape hatch cannot be half-adopted.
+// Single-goroutine setup before publication can be annotated with
+// //plmvet:allow(atomicfield).
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere",
+	Run: runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: find every field that appears as &field in a sync/atomic
+	// call, remembering the selector nodes so pass 2 can exempt them.
+	atomicFields := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass.TypesInfo, call)
+			if !ok || pkg != "sync/atomic" || !isAtomicAccessor(name) || len(call.Args) == 0 {
+				return true
+			}
+			sel := addressedField(call.Args[0])
+			if sel == nil {
+				return true
+			}
+			if obj := fieldObject(pass.TypesInfo, sel); obj != nil {
+				atomicFields[obj] = true
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// plain access.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			obj := fieldObject(pass.TypesInfo, sel)
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races with the atomic writers", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicAccessor reports whether name is a sync/atomic function that
+// reads or writes through its pointer argument.
+func isAtomicAccessor(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedField unwraps &expr down to a field selector.
+func addressedField(e ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	sel, _ := ast.Unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldObject resolves a selector to the struct field it names, or nil for
+// methods, package members and qualified identifiers.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicfieldFixtures(t *testing.T) {
+	runFixtures(t, []*Analyzer{Atomicfield}, "repro/internal/api", "atomicfield")
+}

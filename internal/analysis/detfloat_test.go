@@ -1,0 +1,19 @@
+package analysis
+
+import "testing"
+
+func TestDetfloatFixtures(t *testing.T) {
+	runFixtures(t, []*Analyzer{Detfloat}, "repro/internal/mat", "detfloat")
+}
+
+// The same violations outside the scoped packages are someone else's
+// business: detfloat must stay silent.
+func TestDetfloatScope(t *testing.T) {
+	runExpectClean(t, []*Analyzer{Detfloat}, "repro/internal/heatmap", "detfloat")
+}
+
+// The ordered-output packages get the map-range rule but not the
+// FMA/clock/RNG rules.
+func TestDetfloatOrderedOutputScope(t *testing.T) {
+	runFixtures(t, []*Analyzer{Detfloat}, "repro/internal/extract", "detfloat_ordered")
+}

@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+func TestKernelpurityFixtures(t *testing.T) {
+	runFixtures(t, []*Analyzer{Kernelpurity}, "repro/internal/mat", "kernelpurity")
+}
+
+// Outside internal/mat the same shapes are unconstrained.
+func TestKernelpurityScope(t *testing.T) {
+	runExpectClean(t, []*Analyzer{Kernelpurity}, "repro/internal/nn", "kernelpurity")
+}

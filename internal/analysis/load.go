@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The standalone loader: resolve package patterns and type-check the
+// matched packages without golang.org/x/tools. `go list -deps -export`
+// compiles every dependency and hands back its export-data file in the
+// build cache; the stdlib gc importer reads those files, so the only
+// source we parse ourselves is the target packages' own.
+
+// Package is one type-checked target package ready for RunAnalyzers.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Load resolves the patterns (e.g. "./...") and returns the matched
+// packages, parsed and type-checked. Only packages in the current module
+// are analyzed; dependencies are consumed as export data.
+func Load(patterns []string) ([]*Package, error) {
+	deps, err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, e := range deps {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	targets, err := goList(append([]string{"-json=ImportPath,Dir,Export,GoFiles,Standard,Module"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard || t.Module == nil {
+			continue
+		}
+		paths := make([]string, len(t.GoFiles))
+		for i, name := range t.GoFiles {
+			paths[i] = filepath.Join(t.Dir, name)
+		}
+		pkg, err := CheckFiles(fset, imp, t.ImportPath, paths, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package from source files. An empty
+// goVersion leaves the type-checker's language version at its default.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path string, filePaths []string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, p := range filePaths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// exportImporter returns a gc-export-data importer backed by the path →
+// export-file map. Paths missing from the map are resolved with an extra
+// `go list -export` call, so it also serves the test harness, whose fixture
+// imports are not known up front.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return LookupImporter(fset, func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			entries, err := goList([]string{"-export", "-json=ImportPath,Export", path})
+			if err != nil {
+				return nil, fmt.Errorf("analysis: resolving import %q: %w", path, err)
+			}
+			for _, e := range entries {
+				if e.Export != "" {
+					exports[e.ImportPath] = e.Export
+				}
+			}
+			if file, ok = exports[path]; !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	})
+}
+
+// StdImporter returns an importer resolving any import path on demand via
+// the go command — the test harness uses it to type-check fixtures.
+func StdImporter(fset *token.FileSet) types.Importer {
+	return exportImporter(fset, make(map[string]string))
+}
+
+// LookupImporter wraps the stdlib gc export-data importer around a lookup
+// function, the hook both the standalone loader and the vet-tool driver
+// plug their path-resolution tables into. ("unsafe" is resolved internally
+// by the gc importer and never reaches lookup.)
+func LookupImporter(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// goList runs `go list` with the given arguments and decodes the JSON
+// stream.
+func goList(args []string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var out []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lockheld enforces the serving stack's lock discipline. Two rules, both
+// scoped to one function body at a time (closures are separate bodies):
+//
+//  1. A mutex must not be held across a blocking operation: a channel send,
+//     receive or select, a net/http client round-trip, a backend Healthy()
+//     probe, time.Sleep, or a sync.WaitGroup/sync.Cond Wait. Every backend
+//     in a shard shares these mutexes; one slow probe under the lock stalls
+//     the whole router.
+//  2. A manually paired Unlock (not deferred) must not have branching
+//     control flow between Lock and the first matching Unlock: a panic or
+//     an early return on one of those paths leaves the mutex locked
+//     forever, wedging every future caller. Convert to defer, or — for the
+//     audited fast paths where the unlock genuinely must happen before a
+//     blocking wait — annotate the Lock line with //plmvet:allow(lockheld)
+//     and a comment stating the invariant that keeps every path unlocked.
+//
+// The matching is positional within one body: a Lock pairs with the next
+// Unlock of the same receiver expression and flavor (Lock/Unlock vs
+// RLock/RUnlock). That is deliberately simple — it resolves correctly for
+// every lock site in this repository, and code it cannot pair is code a
+// reviewer cannot pair either.
+var Lockheld = &Analyzer{
+	Name: "lockheld",
+	Doc: "forbid blocking calls under a mutex and non-deferred Unlock on " +
+		"branchy paths",
+	Run: runLockheld,
+}
+
+type lockEventKind int
+
+const (
+	evLock lockEventKind = iota
+	evUnlock
+	evDeferUnlock
+)
+
+type lockEvent struct {
+	kind lockEventKind
+	recv string // canonical receiver expression, e.g. "a.mu"
+	read bool   // RLock/RUnlock flavor
+	pos  token.Pos
+}
+
+func runLockheld(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	events := collectLockEvents(pass, body)
+	for i, ev := range events {
+		if ev.kind != evLock {
+			continue
+		}
+		match := matchingUnlock(events[i+1:], ev)
+		switch {
+		case match == nil:
+			// Lock handoff to another function; out of scope.
+		case match.kind == evDeferUnlock:
+			// Deferred is the sanctioned shape; the lock is held to
+			// function return, so the whole remaining body is the
+			// critical section.
+			reportBlockingIn(pass, body, ev, ev.pos, body.End())
+		default:
+			reportBlockingIn(pass, body, ev, ev.pos, match.pos)
+			if branchBetween(body, ev.pos, match.pos) {
+				pass.Reportf(ev.pos, "%s is released by a non-deferred Unlock across branching control flow; a panic or early return would wedge the mutex — use defer or annotate the audited invariant with //plmvet:allow(lockheld)", ev.recv)
+			}
+		}
+	}
+}
+
+// collectLockEvents gathers Lock/Unlock/defer-Unlock calls on sync mutexes
+// directly inside body, in source order, without descending into nested
+// function literals.
+func collectLockEvents(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	inspectBody(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := lockEventOf(pass, n.Call); ok && ev.kind == evUnlock {
+				ev.kind = evDeferUnlock
+				events = append(events, ev)
+			}
+		case *ast.CallExpr:
+			if ev, ok := lockEventOf(pass, n); ok {
+				events = append(events, ev)
+			}
+		}
+	})
+	return events
+}
+
+// inspectBody walks body in source order, skipping nested FuncLits: their
+// statements execute on the closure's schedule, not under this body's
+// locks.
+func inspectBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// lockEventOf classifies a call as a mutex Lock/Unlock if its callee is a
+// (R)Lock/(R)Unlock method provided by package sync (covers embedded and
+// promoted mutexes).
+func lockEventOf(pass *Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return lockEvent{}, false
+	}
+	m := s.Obj()
+	if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{recv: types.ExprString(sel.X), pos: call.Pos()}
+	switch m.Name() {
+	case "Lock":
+		ev.kind = evLock
+	case "Unlock":
+		ev.kind = evUnlock
+	case "RLock":
+		ev.kind, ev.read = evLock, true
+	case "RUnlock":
+		ev.kind, ev.read = evUnlock, true
+	default:
+		return lockEvent{}, false
+	}
+	return ev, true
+}
+
+// matchingUnlock finds the first unlock of the same receiver and flavor.
+func matchingUnlock(rest []lockEvent, lock lockEvent) *lockEvent {
+	for i := range rest {
+		ev := &rest[i]
+		if ev.kind != evLock && ev.recv == lock.recv && ev.read == lock.read {
+			return ev
+		}
+	}
+	return nil
+}
+
+// branchBetween reports whether a branching statement starts strictly
+// between the two positions.
+func branchBetween(body *ast.BlockStmt, from, to token.Pos) bool {
+	found := false
+	inspectBody(body, func(n ast.Node) {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if n.Pos() > from && n.Pos() < to {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// reportBlockingIn flags blocking operations positioned inside the critical
+// section (from, to).
+func reportBlockingIn(pass *Pass, body *ast.BlockStmt, lock lockEvent, from, to token.Pos) {
+	inspectBody(body, func(n ast.Node) {
+		if n.Pos() <= from || n.Pos() >= to {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding %s blocks every goroutine contending for the mutex", lock.recv)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while holding %s blocks every goroutine contending for the mutex", lock.recv)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select while holding %s blocks every goroutine contending for the mutex", lock.recv)
+		case *ast.CallExpr:
+			if desc := blockingCallDesc(pass, n); desc != "" {
+				pass.Reportf(n.Pos(), "%s while holding %s blocks every goroutine contending for the mutex", desc, lock.recv)
+			}
+		}
+	})
+}
+
+// blockingCallDesc describes a call known to block: http client
+// round-trips, Healthy probes, time.Sleep, and sync Wait.
+func blockingCallDesc(pass *Pass, call *ast.CallExpr) string {
+	if pkg, name, ok := pkgFunc(pass.TypesInfo, call); ok {
+		if pkg == "time" && name == "Sleep" {
+			return "time.Sleep"
+		}
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	m := s.Obj()
+	name := m.Name()
+	if name == "Healthy" {
+		return "Healthy() probe"
+	}
+	if m.Pkg() != nil {
+		switch m.Pkg().Path() {
+		case "net/http":
+			switch name {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				return "http client " + name
+			}
+		case "sync":
+			if name == "Wait" {
+				return "sync Wait"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockheldFixtures(t *testing.T) {
+	runFixtures(t, []*Analyzer{Lockheld}, "repro/internal/api", "lockheld")
+}

@@ -1,0 +1,37 @@
+// Fixtures for the atomicfield analyzer: a field touched by sync/atomic
+// anywhere must be touched by sync/atomic everywhere.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed atomically AND plainly: every plain site flags
+	misses int64 // consistently atomic: clean
+	config int64 // never atomic: plain access is fine
+}
+
+func (c *counters) recordHit()  { atomic.AddInt64(&c.hits, 1) }
+func (c *counters) recordMiss() { atomic.AddInt64(&c.misses, 1) }
+
+func (c *counters) snapshotRacy() int64 {
+	return c.hits // want "field hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) resetRacy() {
+	c.hits = 0 // want "field hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) snapshotSafe() int64 {
+	return atomic.LoadInt64(&c.misses)
+}
+
+func (c *counters) tune(v int64) {
+	c.config = v
+}
+
+func newCounters(seed int64) *counters {
+	c := &counters{}
+	// Pre-publication setup: no concurrent atomic writer can exist yet.
+	c.hits = seed //plmvet:allow(atomicfield) single-goroutine init before the struct escapes
+	return c
+}

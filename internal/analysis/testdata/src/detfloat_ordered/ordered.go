@@ -1,0 +1,19 @@
+// Fixtures for detfloat's ordered-output scope ("repro/internal/extract"
+// and friends): the map-range determinism rule applies, the bit-identity
+// call rules do not.
+package a
+
+import "time"
+
+func harvestOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appending to an outer slice in map iteration order"
+	}
+	return out
+}
+
+func wallClockIsFine() int64 {
+	// extract/api may timestamp; only the bit-identity packages forbid it.
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,68 @@
+// Fixtures for the kernelpurity analyzer, type-checked under
+// "repro/internal/mat". The file name starts with "gemm" so the analyzer
+// treats it as kernel code.
+package a
+
+func dotAscending(a, b []float64) float64 {
+	var s float64
+	for k := 0; k < len(a); k++ {
+		s += a[k] * b[k] // one ascending accumulation chain: the contract
+	}
+	return s
+}
+
+func dotDescending(a, b []float64) float64 {
+	var s float64
+	for k := len(a) - 1; k >= 0; k-- { // want "descending-index accumulation reorders the additions"
+		s += a[k] * b[k]
+	}
+	return s
+}
+
+func dotStridedDescending(a, b []float64) float64 {
+	var s float64
+	for k := len(a) - 1; k >= 0; k -= 2 { // want "descending-index accumulation reorders the additions"
+		s += a[k] * b[k]
+	}
+	return s
+}
+
+func countDownNoFloat(n int) int {
+	var c int
+	for i := n; i > 0; i-- { // integer bookkeeping: no rounding to reorder
+		c += i
+	}
+	return c
+}
+
+func dotSplit(a, b []float64) float64 {
+	var s0, s1 float64
+	for k := 0; k+1 < len(a); k += 2 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+	}
+	return s0 + s1 // want "adding partial sums s0 and s1 reassociates the reduction"
+}
+
+// Distinct accumulators for distinct output elements are the microkernel
+// shape and never combine.
+func dot2(a, b0, b1 []float64, out []float64) {
+	var s0, s1 float64
+	for k := 0; k < len(a); k++ {
+		s0 += a[k] * b0[k]
+		s1 += a[k] * b1[k]
+	}
+	out[0] = s0
+	out[1] = s1
+}
+
+func dotSplitAudited(a, b []float64) float64 {
+	var s0, s1 float64
+	for k := 0; k+1 < len(a); k += 2 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+	}
+	// A deliberately reassociated reference path would carry its own
+	// parity tests; the annotation records that audit.
+	return s0 + s1 //plmvet:allow(kernelpurity)
+}

@@ -1,0 +1,17 @@
+// A non-gemm file in the same package: kernelpurity only governs the
+// gemm*.go kernels, so back-substitution style descending loops here are
+// out of scope.
+package a
+
+func backSubstitute(u [][]float64, y []float64) []float64 {
+	n := len(y)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= u[i][j] * x[j]
+		}
+		x[i] = s / u[i][i]
+	}
+	return x
+}

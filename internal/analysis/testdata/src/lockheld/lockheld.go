@@ -1,0 +1,141 @@
+// Fixtures for the lockheld analyzer: no blocking operations under a
+// mutex, no non-deferred Unlock across branches.
+package a
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type backend struct{}
+
+func (backend) Healthy() bool { return true }
+
+type state struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	n      int
+	ch     chan int
+	client *http.Client
+	b      backend
+}
+
+func (s *state) deferredStraight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+func (s *state) manualStraight() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *state) manualBranchy() bool {
+	s.mu.Lock() // want "non-deferred Unlock across branching control flow"
+	if s.n > 0 {
+		s.mu.Unlock()
+		return true
+	}
+	s.n = 1
+	s.mu.Unlock()
+	return false
+}
+
+func (s *state) branchAfterUnlock() bool {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	if n > 0 {
+		return true
+	}
+	return false
+}
+
+func (s *state) auditedBranchy() bool {
+	// Invariant: both exits unlock exactly once before returning.
+	s.mu.Lock() //plmvet:allow(lockheld)
+	if s.n > 0 {
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	return false
+}
+
+func (s *state) sendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "channel send while holding s.mu"
+}
+
+func (s *state) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while holding s.mu"
+}
+
+func (s *state) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select while holding s.mu"
+	case v := <-s.ch: // the receive inside reports too // want "channel receive while holding s.mu"
+		s.n = v
+	default:
+	}
+}
+
+func (s *state) httpUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.client.Get("http://example.invalid/") // want "http client Get while holding s.mu"
+	return err
+}
+
+func (s *state) probeUnderLock() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Healthy() // want "Healthy\(\) probe while holding s.mu"
+}
+
+func (s *state) sleepUnderManualLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *state) blockingOutsideLock(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+	s.ch <- v // released first: fine
+	_ = s.b.Healthy()
+}
+
+// RLock pairs with RUnlock, independently of the write-lock flavor.
+func (s *state) readBranchy() bool {
+	s.rw.RLock() // want "non-deferred Unlock across branching control flow"
+	if s.n > 0 {
+		s.rw.RUnlock()
+		return true
+	}
+	s.rw.RUnlock()
+	return false
+}
+
+// A nested closure is its own scope: the branch inside it runs on the
+// closure's schedule, not between this function's Lock and Unlock.
+func (s *state) closureIsSeparate() func() bool {
+	s.mu.Lock()
+	f := func() bool {
+		if s.n > 0 {
+			return true
+		}
+		return false
+	}
+	s.mu.Unlock()
+	return f
+}

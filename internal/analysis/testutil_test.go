@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest: fixture files under
+// testdata/src/<dir>/ carry `// want "regex"` comments on the lines where a
+// diagnostic is expected, and the test fails on any unmatched expectation
+// or unexpected diagnostic. Because several analyzers scope themselves by
+// package path, the harness type-checks each fixture directory under a
+// caller-chosen import path (e.g. "repro/internal/mat") rather than the
+// directory name.
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runFixtures type-checks testdata/src/<dir>, runs the analyzers, and
+// diffs diagnostics against the `// want` comments.
+func runFixtures(t *testing.T, analyzers []*Analyzer, pkgPath, dir string) {
+	t.Helper()
+	glob := filepath.Join("testdata", "src", dir, "*.go")
+	paths, err := filepath.Glob(glob)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures match %s (err=%v)", glob, err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := CheckFiles(fset, StdImporter(fset), pkgPath, paths, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+			}
+		}
+	}
+
+	diags, err := RunAnalyzers(analyzers, fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s: %s [%s]", pos, d.Message, d.Analyzer)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation on the diagnostic's line whose
+// pattern matches the message.
+func matchWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// runExpectClean asserts the analyzers report nothing for the fixture
+// directory under the given package path — the scope-negative case.
+func runExpectClean(t *testing.T, analyzers []*Analyzer, pkgPath, dir string) {
+	t.Helper()
+	glob := filepath.Join("testdata", "src", dir, "*.go")
+	paths, err := filepath.Glob(glob)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures match %s (err=%v)", glob, err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := CheckFiles(fset, StdImporter(fset), pkgPath, paths, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(analyzers, fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under package path %s at %s: %s [%s]",
+			pkgPath, fmt.Sprint(fset.Position(d.Pos)), d.Message, d.Analyzer)
+	}
+}

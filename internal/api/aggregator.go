@@ -157,18 +157,7 @@ func (a *Aggregator) RTT() time.Duration {
 // observeRTT folds one flush's measured round trip into the EWMA and derives
 // the next wait window from it.
 func (a *Aggregator) observeRTT(rtt time.Duration) {
-	// alpha 0.3: reacts to a genuine latency shift within a few flushes
-	// while one slow outlier moves the window under a third of the way.
-	const alpha = 0.3
-	a.rttMu.Lock()
-	if a.rttEWMA == 0 {
-		a.rttEWMA = float64(rtt)
-	} else {
-		a.rttEWMA = alpha*float64(rtt) + (1-alpha)*a.rttEWMA
-	}
-	ewma := a.rttEWMA
-	a.rttMu.Unlock()
-	w := time.Duration(a.cfg.WindowFraction * ewma)
+	w := time.Duration(a.cfg.WindowFraction * a.updateEWMA(rtt))
 	if w < a.cfg.MinWindow {
 		w = a.cfg.MinWindow
 	}
@@ -176,6 +165,22 @@ func (a *Aggregator) observeRTT(rtt time.Duration) {
 		w = a.cfg.MaxWindow
 	}
 	a.window.Store(int64(w))
+}
+
+// updateEWMA folds one measured round trip into the smoothed RTT and
+// returns the new value.
+func (a *Aggregator) updateEWMA(rtt time.Duration) float64 {
+	// alpha 0.3: reacts to a genuine latency shift within a few flushes
+	// while one slow outlier moves the window under a third of the way.
+	const alpha = 0.3
+	a.rttMu.Lock()
+	defer a.rttMu.Unlock()
+	if a.rttEWMA == 0 {
+		a.rttEWMA = float64(rtt)
+	} else {
+		a.rttEWMA = alpha*float64(rtt) + (1-alpha)*a.rttEWMA
+	}
+	return a.rttEWMA
 }
 
 // Err returns the first batch error encountered via Predict, if any
@@ -195,10 +200,10 @@ func (a *Aggregator) ResetErr() {
 
 func (a *Aggregator) record(err error) {
 	a.errMu.Lock()
+	defer a.errMu.Unlock()
 	if a.err == nil {
 		a.err = err
 	}
-	a.errMu.Unlock()
 }
 
 // Predict implements plm.Model: the probe joins the pending queue and the
@@ -241,9 +246,8 @@ func (a *Aggregator) Close() {
 // taken either finds the queue empty (no-op) or flushes a newer batch a
 // little early (harmless).
 func (a *Aggregator) submit(xs []mat.Vec) ([]mat.Vec, error) {
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	w, batch, closed := a.enqueue(xs)
+	if closed {
 		// A flush is one shipped batch. Without a batch endpoint the
 		// pass-through probes go out individually, so counting a flush here
 		// would overstate how well the run batched.
@@ -253,19 +257,30 @@ func (a *Aggregator) submit(xs []mat.Vec) ([]mat.Vec, error) {
 		}
 		return predictAllErr(a.inner, xs)
 	}
-	w := &aggWaiter{xs: xs, done: make(chan struct{})}
+	a.flush(batch)
+	<-w.done
+	return w.out, w.err
+}
+
+// enqueue adds the caller's probes to the pending queue under the lock,
+// returning a full batch when this submission tripped the size trigger and
+// closed=true when the aggregator is a pass-through. The flush itself and
+// the wait both happen outside the lock, in submit.
+func (a *Aggregator) enqueue(xs []mat.Vec) (w *aggWaiter, batch []*aggWaiter, closed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, nil, true
+	}
+	w = &aggWaiter{xs: xs, done: make(chan struct{})}
 	a.pending = append(a.pending, w)
 	a.count += len(xs)
-	var batch []*aggWaiter
 	if a.count >= a.cfg.MaxBatch {
 		batch = a.takeLocked()
 	} else if a.timer == nil {
 		a.timer = time.AfterFunc(a.CurrentWindow(), a.timerFlush)
 	}
-	a.mu.Unlock()
-	a.flush(batch)
-	<-w.done
-	return w.out, w.err
+	return w, batch, false
 }
 
 // takeLocked detaches the entire pending queue. Callers hold mu.

@@ -116,7 +116,12 @@ func cacheKey(x mat.Vec) string {
 // for that answer instead of issuing (and counting) a duplicate miss.
 func (c *Cache) Predict(x mat.Vec) mat.Vec {
 	key := cacheKey(x)
-	c.mu.Lock()
+	// Audited manual-unlock fast path: the mutex must be released before
+	// the <-call.done wait and before the inner probe, or one in-flight
+	// miss would serialize every other key. Invariant: each of the three
+	// exits from this region (hit, join, leader) unlocks exactly once
+	// before it can block, and nothing between Lock and Unlock can panic.
+	c.mu.Lock() //plmvet:allow(lockheld)
 	if p, ok := c.data[key]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)

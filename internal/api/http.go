@@ -338,10 +338,10 @@ func (c *Client) ResetErr() {
 
 func (c *Client) record(err error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.err == nil {
 		c.err = err
 	}
-	c.mu.Unlock()
 }
 
 // post sends one JSON request, retrying transport errors, 5xx responses and

@@ -132,6 +132,7 @@ func (rc *ResponseCache) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 	slots := make([]int, len(xs)) // miss slot per item; -1 = cache hit
 	slotByKey := make(map[string]int)
 	var missXs []mat.Vec
+	var missKeys []string
 	for i, x := range xs {
 		keys[i] = cacheKey(x)
 		if p, ok := rc.lookup(keys[i]); ok {
@@ -149,6 +150,7 @@ func (rc *ResponseCache) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 		slotByKey[keys[i]] = len(missXs)
 		slots[i] = len(missXs)
 		missXs = append(missXs, x)
+		missKeys = append(missKeys, keys[i])
 	}
 	if len(missXs) == 0 {
 		return out, nil
@@ -157,9 +159,10 @@ func (rc *ResponseCache) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One insert per distinct miss, then fill every slot (duplicates
-	// included) from the answers.
-	for key, s := range slotByKey {
+	// One insert per distinct miss, in submission order — inserting in map
+	// iteration order would make the cache's recency and eviction sequence
+	// differ run to run for the same batch.
+	for s, key := range missKeys {
 		rc.insert(key, ys[s].Clone())
 	}
 	for i := range xs {

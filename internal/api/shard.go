@@ -177,6 +177,7 @@ func (s *Shard) Classes() int { return s.backends[0].stats.Classes }
 // to the configured maximum.
 func (s *Shard) quarantine(st *backendState) {
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.backoff == 0 {
 		st.backoff = s.cfg.QuarantineBase
 	} else if st.backoff < s.cfg.QuarantineMax {
@@ -186,7 +187,6 @@ func (s *Shard) quarantine(st *backendState) {
 		}
 	}
 	st.quarantinedUntil = s.now().Add(st.backoff)
-	st.mu.Unlock()
 }
 
 // eligible returns the backends allowed to serve right now. A backend whose
@@ -280,11 +280,11 @@ func (s *Shard) Predict(x mat.Vec) mat.Vec {
 // last-resort call that got through means the backend is back.
 func (s *Shard) clearQuarantine(st *backendState) {
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	if !st.quarantinedUntil.IsZero() {
 		st.quarantinedUntil = time.Time{}
 		st.backoff = 0
 	}
-	st.mu.Unlock()
 }
 
 // pickLeastLoaded returns the untried eligible backend with the fewest
@@ -440,13 +440,16 @@ func (s *Shard) dispatch(xs []mat.Vec, out []mat.Vec, spans []span, elig []*back
 	)
 	pending.Store(int64(len(spans)))
 	active.Store(int64(len(elig)))
+	recordErr := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if first == nil {
+			first = err
+		}
+	}
 	finish := func(err error) {
 		if err != nil {
-			errMu.Lock()
-			if first == nil {
-				first = err
-			}
-			errMu.Unlock()
+			recordErr(err)
 		}
 		once.Do(func() { close(done) })
 	}

@@ -168,18 +168,27 @@ func (r *Runner) Submit(op string, xs []mat.Vec) (string, error) {
 			return "", fmt.Errorf("jobs: item %d length %d != %d", i, len(x), r.model.Dim())
 		}
 	}
+	j, err := r.admit(op, xs)
+	if err != nil {
+		return "", err
+	}
+	r.queue <- j // capacity == store capacity, never blocks
+	return j.id, nil
+}
+
+// admit reserves a store slot and registers a new queued job under the
+// lock; the channel send stays in Submit, outside it.
+func (r *Runner) admit(op string, xs []mat.Vec) (*job, error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.jobs) >= r.capacity && !r.evictOneLocked() {
-		r.mu.Unlock()
-		return "", ErrBacklogFull
+		return nil, ErrBacklogFull
 	}
 	r.seq++
 	j := &job{id: fmt.Sprintf("job-%d", r.seq), op: op, xs: xs, status: StatusQueued}
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
-	r.mu.Unlock()
-	r.queue <- j // capacity == store capacity, never blocks
-	return j.id, nil
+	return j, nil
 }
 
 // evictOneLocked removes the oldest finished job; callers hold r.mu.
@@ -233,17 +242,22 @@ func (r *Runner) work() {
 		case OpInterpret:
 			regions, err = r.runInterpret(j.xs)
 		}
-		j.mu.Lock()
-		if err != nil {
-			j.status = StatusFailed
-			j.err = err.Error()
-		} else {
-			j.status = StatusDone
-			j.probs = probs
-			j.regions = regions
-		}
-		j.mu.Unlock()
+		j.finish(probs, regions, err)
 	}
+}
+
+// finish records a job's outcome under its lock.
+func (j *job) finish(probs [][]float64, regions []Region, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err.Error()
+		return
+	}
+	j.status = StatusDone
+	j.probs = probs
+	j.regions = regions
 }
 
 // runPredict answers the bulk batch on the served model's fast path — for

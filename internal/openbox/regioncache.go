@@ -110,7 +110,11 @@ func (rc *RegionCache) ExtractAll(xs []mat.Vec) ([]*plm.Linear, error) {
 // the results are identical and only the incumbent is kept.
 func (rc *RegionCache) localForPattern(pattern []bool) (*plm.Linear, error) {
 	key := PatternKey(pattern)
-	rc.mu.Lock()
+	// Audited manual-unlock fast path: deferring would hold the lock
+	// across the GEMM-chain composition and serialize every extraction.
+	// Invariant: both exits from this check (hit, miss) unlock exactly
+	// once, and nothing between Lock and Unlock can panic.
+	rc.mu.Lock() //plmvet:allow(lockheld)
 	if lin, ok := rc.c.Get(key); ok {
 		rc.mu.Unlock()
 		rc.hits.Add(1)
@@ -190,7 +194,10 @@ func (c *cachedRegionModel) LocalAt(x mat.Vec) (*plm.Linear, error) {
 		key = c.RegionModel.RegionKey(x)
 		compose = func() (*plm.Linear, error) { return c.RegionModel.LocalAt(x) }
 	}
-	c.mu.Lock()
+	// Audited manual-unlock fast path, same shape and invariant as
+	// RegionCache.localForPattern: unlock before composing so a miss does
+	// not serialize the cache.
+	c.mu.Lock() //plmvet:allow(lockheld)
 	if lin, ok := c.c.Get(key); ok {
 		c.mu.Unlock()
 		return lin, nil

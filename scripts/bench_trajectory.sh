@@ -15,7 +15,7 @@
 # tolerance or vanished from the run. Benchmarks added since the snapshots
 # ride along without being gated.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 out="${1:-BENCH_ci.json}"
 tol="${BENCH_TOL:-0.35}"
