@@ -24,6 +24,16 @@
 // paths. Interpret jobs harvest the exact locally linear regions of the
 // submitted instances and need at least one local replica (-model).
 //
+// Payload encoding is negotiated per request (internal/wire): every
+// endpoint speaks the legacy JSON envelopes, and peers that saw the
+// server's /meta advertise the binary float-frame codec ship the same
+// payloads as length-prefixed little-endian frames — bit-identical to the
+// JSON path at a fraction of the bytes, with an opt-in float32 mode.
+// Finished job results additionally page (GET /jobs/{id}?offset=O&limit=L)
+// and, for binary clients, stream as one frame per result chunk. /stats
+// reports the wire traffic (bytes_in/bytes_out and the binary/JSON request
+// split), reaching through to remote backends' client-side counters.
+//
 // Usage:
 //
 //	plmserve -model plnn.json -type plnn -addr :8080

@@ -8,12 +8,15 @@ import (
 
 // bitIdentityPkgs are the packages whose arithmetic must be bit-identical
 // across kernels, batch sizes and process restarts: everything on the path
-// from weights to the extracted closed-form (W, b).
+// from weights to the extracted closed-form (W, b), plus the wire codecs —
+// a float that crosses the HTTP boundary must come back with the same bits
+// whichever codec carried it.
 var bitIdentityPkgs = map[string]bool{
 	"repro/internal/mat":     true,
 	"repro/internal/nn":      true,
 	"repro/internal/openbox": true,
 	"repro/internal/plm":     true,
+	"repro/internal/wire":    true,
 }
 
 // orderedOutputPkgs additionally produce ordered results or submission-order

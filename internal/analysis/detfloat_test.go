@@ -17,3 +17,10 @@ func TestDetfloatScope(t *testing.T) {
 func TestDetfloatOrderedOutputScope(t *testing.T) {
 	runFixtures(t, []*Analyzer{Detfloat}, "repro/internal/extract", "detfloat_ordered")
 }
+
+// The wire codec package carries the full bit-identity rule set: a float
+// crossing the HTTP boundary must come back with the same bits whichever
+// codec carried it, so the codecs get the same scrutiny as the kernels.
+func TestDetfloatCoversWirePackage(t *testing.T) {
+	runFixtures(t, []*Analyzer{Detfloat}, "repro/internal/wire", "detfloat")
+}

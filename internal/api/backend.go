@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/plm"
+	"repro/internal/wire"
 )
 
 // Backend is one prediction worker behind the shard router. The paper's
@@ -59,6 +60,17 @@ type BackendStatus struct {
 	// backend is quarantined after failures. It reflects the router's
 	// bookkeeping, not a live probe — /stats stays cheap.
 	State string `json:"state"`
+	// Wire is the backend's client-side codec traffic (bytes and the
+	// binary/JSON request split) when the backend is remote; local
+	// backends have no wire hop and omit it.
+	Wire *wire.Counts `json:"wire,omitempty"`
+}
+
+// wireCounter is the optional wire-traffic surface a backend may expose:
+// remote backends forward their HTTP client's counters for the /stats
+// reach-through.
+type wireCounter interface {
+	WireCounts() wire.Counts
 }
 
 // localBackend adapts an in-process plm.Model to the Backend interface —
@@ -119,6 +131,10 @@ func (b *remoteBackend) Stats() BackendStats {
 // Healthy pings the remote's /meta endpoint with a short deadline. Used by
 // the shard's quarantine-recovery probe.
 func (b *remoteBackend) Healthy() bool { return b.client.Ping() == nil }
+
+// WireCounts forwards the dialed client's wire counters — the /stats
+// per-backend reach-through.
+func (b *remoteBackend) WireCounts() wire.Counts { return b.client.WireCounts() }
 
 // LocalBackends wraps each model as a local backend, named name-0, name-1…
 func LocalBackends(models []plm.Model, name string) []Backend {

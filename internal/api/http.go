@@ -3,7 +3,6 @@ package api
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,44 +12,42 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/plm"
+	"repro/internal/wire"
 )
 
 // The wire protocol is deliberately what a minimal prediction service looks
 // like:
 //
-//	GET  /meta     -> {"name":..., "dim":d, "classes":C}
+//	GET  /meta     -> {"name":..., "dim":d, "classes":C, "codecs":[...]}
 //	POST /predict  {"x":[...]}        -> {"probs":[...]}
 //	POST /batch    {"xs":[[...],..]}  -> {"probs":[[...],..]}
-//	GET  /stats    -> {"queries":n}
+//	GET  /stats    -> {"queries":n, ...}
 //
 // Only probabilities cross the wire — never parameters — so the server side
 // is a faithful stand-in for the cloud APIs the paper targets.
+//
+// Payload encoding is pluggable (internal/wire): the JSON envelopes above
+// are the universal fallback, and peers that both advertise the binary
+// float-frame codec ship the same payloads as length-prefixed little-endian
+// frames at a fraction of the bytes. Negotiation is per request via
+// Content-Type and Accept; /meta advertises what the server speaks.
 
 type metaResponse struct {
 	Name    string `json:"name"`
 	Dim     int    `json:"dim"`
 	Classes int    `json:"classes"`
-}
-
-type predictRequest struct {
-	X []float64 `json:"x"`
-}
-
-type predictResponse struct {
-	Probs []float64 `json:"probs"`
-}
-
-type batchRequest struct {
-	Xs [][]float64 `json:"xs"`
-}
-
-type batchResponse struct {
-	Probs [][]float64 `json:"probs"`
+	// Codecs lists the payload codecs the server accepts ("json",
+	// "binary"). Absent on pre-codec servers — which is exactly how a new
+	// client knows to stay on JSON against an old peer.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 type statsResponse struct {
 	Queries    int64 `json:"queries"`
 	RoundTrips int64 `json:"round_trips"`
+	// Wire counters: payload bytes through the codec seam and the
+	// binary/JSON request split. Always present — a zero is information.
+	wire.Counts
 	// ReplicaQueries breaks Queries down per model replica when the served
 	// model is a Shard; absent for single-replica servers.
 	ReplicaQueries []int64 `json:"replica_queries,omitempty"`
@@ -68,6 +65,9 @@ type statsResponse struct {
 	CacheSize      *int   `json:"cache_size,omitempty"`
 }
 
+// serverCodecs is what /meta advertises.
+var serverCodecs = []string{wire.NameJSON, wire.NameBinary}
+
 // Server exposes a plm.Model over HTTP. It implements http.Handler.
 type Server struct {
 	model   plm.Model
@@ -78,9 +78,16 @@ type Server struct {
 	// /batch call, however many probes the batch carried. The ratio
 	// queries/requests is the server-side view of how well clients batch.
 	requests atomic.Int64
+	// wireStats counts payload bytes and the codec split across the
+	// payload-carrying endpoints (/predict, /batch, /jobs) — the /meta and
+	// /stats control surface is not wire traffic worth metering.
+	wireStats wire.Stats
 	// Latency, when positive, is added to every prediction request to
 	// simulate a slow remote.
 	Latency time.Duration
+	// MaxBody caps request body bytes (0: wire.DefaultMaxBody, 64 MB). A
+	// body stopped by the cap answers 413, not a generic decode 400.
+	MaxBody int64
 }
 
 // NewServer wraps model as an HTTP prediction service.
@@ -104,14 +111,29 @@ func (s *Server) Queries() int64 { return s.queries.Load() }
 // denominator of the batching win a query aggregator buys.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
+// WireStats returns the server's wire counter set — mounted subsystems
+// (the async job API) count their payload traffic into the same seam.
+func (s *Server) WireStats() *wire.Stats { return &s.wireStats }
+
+// WireCounts snapshots the server's wire counters.
+func (s *Server) WireCounts() wire.Counts { return s.wireStats.Counts() }
+
+// exchange builds the per-request codec seam for a payload endpoint.
+func (s *Server) exchange(r *http.Request) *wire.Exchange {
+	return wire.NewExchange(r, &s.wireStats, s.MaxBody)
+}
+
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, metaResponse{Name: s.name, Dim: s.model.Dim(), Classes: s.model.Classes()})
+	wire.WriteJSON(w, http.StatusOK, metaResponse{
+		Name: s.name, Dim: s.model.Dim(), Classes: s.model.Classes(), Codecs: serverCodecs,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := statsResponse{
 		Queries:    s.queries.Load(),
 		RoundTrips: s.requests.Load(),
+		Counts:     s.wireStats.Counts(),
 	}
 	model := s.model
 	if rc, ok := model.(*ResponseCache); ok {
@@ -128,7 +150,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.ReplicaQueries = sh.ReplicaQueries()
 		resp.Backends = sh.BackendStatus()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	wire.WriteJSON(w, http.StatusOK, resp)
 }
 
 // Handle mounts an extra handler on the server's mux — how optional
@@ -139,13 +161,14 @@ func (s *Server) Handle(pattern string, h http.HandlerFunc) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	ex := s.exchange(r)
+	x, err := ex.ReadVec("x")
+	if err != nil {
+		ex.Error(w, wire.DecodeStatus(err), err)
 		return
 	}
-	if len(req.X) != s.model.Dim() {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("input length %d != %d", len(req.X), s.model.Dim()))
+	if len(x) != s.model.Dim() {
+		ex.Error(w, http.StatusBadRequest, fmt.Errorf("input length %d != %d", len(x), s.model.Dim()))
 		return
 	}
 	if s.Latency > 0 {
@@ -157,18 +180,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// counted.
 	var probs mat.Vec
 	if ep, ok := s.model.(errPredictor); ok {
-		p, err := ep.PredictErr(mat.Vec(req.X))
+		p, err := ep.PredictErr(mat.Vec(x))
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			ex.Error(w, http.StatusInternalServerError, err)
 			return
 		}
 		probs = p
 	} else {
-		probs = s.model.Predict(mat.Vec(req.X))
+		probs = s.model.Predict(mat.Vec(x))
 	}
 	s.requests.Add(1)
 	s.queries.Add(1)
-	writeJSON(w, http.StatusOK, predictResponse{Probs: probs})
+	ex.WriteVec(w, "probs", probs)
 }
 
 // errPredictor is the optional single-prediction error surface (Client,
@@ -179,31 +202,32 @@ type errPredictor interface {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	ex := s.exchange(r)
+	rows, err := ex.ReadMat("xs")
+	if err != nil {
+		ex.Error(w, wire.DecodeStatus(err), err)
 		return
 	}
 	// An empty batch is a no-op, not a round trip: counting it would skew
 	// the queries/round_trips ratio the stats report (and the integration
 	// gate) with zero-query requests.
-	if len(req.Xs) == 0 {
-		writeJSON(w, http.StatusOK, batchResponse{Probs: [][]float64{}})
+	if len(rows) == 0 {
+		ex.WriteMat(w, "probs", [][]float64{})
 		return
 	}
 	// Validate everything before counting: a rejected request must not
 	// skew the queries/round_trips ratio the stats report.
-	for i, x := range req.Xs {
+	for i, x := range rows {
 		if len(x) != s.model.Dim() {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("batch item %d length %d != %d", i, len(x), s.model.Dim()))
+			ex.Error(w, http.StatusBadRequest, fmt.Errorf("batch item %d length %d != %d", i, len(x), s.model.Dim()))
 			return
 		}
 	}
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
 	}
-	xs := make([]mat.Vec, len(req.Xs))
-	for i, x := range req.Xs {
+	xs := make([]mat.Vec, len(rows))
+	for i, x := range rows {
 		xs[i] = mat.Vec(x)
 	}
 	// The model's own batch endpoint — a Shard's parallel replica fan-out,
@@ -214,37 +238,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// rejected request.
 	ys, err := predictAllErr(s.model, xs)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		ex.Error(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.requests.Add(1)
-	s.queries.Add(int64(len(req.Xs)))
-	out := batchResponse{Probs: make([][]float64, len(ys))}
+	s.queries.Add(int64(len(rows)))
+	out := make([][]float64, len(ys))
 	for i, y := range ys {
-		out.Probs[i] = y
+		out[i] = y
 	}
-	writeJSON(w, http.StatusOK, out)
+	ex.WriteMat(w, "probs", out)
 }
 
-func decodeBody(r *http.Request, dst any) error {
-	defer r.Body.Close()
-	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("api: decode request: %w", err)
-	}
-	return nil
-}
+// clientMaxBody caps how much response body a client will decode.
+const clientMaxBody = wire.DefaultMaxBody
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding errors past the header are unrecoverable; best effort.
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// defaultTransport is shared by every client Dial builds itself. The
+// stock http.DefaultTransport keeps only 2 idle connections per host —
+// an aggregator plus a shard fan-out against one server churns through
+// fresh TCP connections, and the binary codec's small frames only pipeline
+// when the connection stays warm. One shared pool, sized for the shard's
+// concurrency, keeps every dialed peer on persistent connections.
+var defaultTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        128,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
 }
 
 // Client is an HTTP prediction client implementing plm.Model. Transport
@@ -252,11 +271,25 @@ func httpError(w http.ResponseWriter, status int, err error) {
 // distribution and records the error, and callers check Err when the
 // interpretation finishes. This keeps plm.Model's pure-math surface while
 // still surfacing failures.
+//
+// The client speaks the binary float-frame codec automatically when the
+// server's /meta advertises it, and stays on JSON otherwise — so a new
+// client against an old server interoperates without configuration.
+// SetCodec and SetFloat32 adjust the choice; call them before sharing the
+// client across goroutines.
 type Client struct {
 	baseURL string
 	httpc   *http.Client
 	meta    metaResponse
 	retries int
+	// binary selects the frame codec for requests and the Accept header;
+	// binaryOK records whether the server advertised it.
+	binary   bool
+	binaryOK bool
+	// f32 opts this client's frames into float32 payloads — half the bytes,
+	// explicitly outside the bit-identity surface.
+	f32       bool
+	wireStats wire.Stats
 
 	mu  sync.Mutex
 	err error
@@ -264,9 +297,11 @@ type Client struct {
 
 // Dial connects to an API server, fetches its metadata, and returns a
 // client. retries is the number of extra attempts per request (0 = none).
+// When httpc is nil a default client with a keep-alive-tuned shared
+// transport is used.
 func Dial(baseURL string, httpc *http.Client, retries int) (*Client, error) {
 	if httpc == nil {
-		httpc = &http.Client{Timeout: 30 * time.Second}
+		httpc = &http.Client{Timeout: 30 * time.Second, Transport: defaultTransport}
 	}
 	if retries < 0 {
 		retries = 0
@@ -280,11 +315,16 @@ func Dial(baseURL string, httpc *http.Client, retries int) (*Client, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("api: meta returned %s", resp.Status)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&c.meta); err != nil {
+	if err := wire.DecodeJSON(resp.Body, clientMaxBody, &c.meta, false); err != nil {
 		return nil, fmt.Errorf("api: decode meta: %w", err)
 	}
 	if c.meta.Dim <= 0 || c.meta.Classes < 2 {
 		return nil, fmt.Errorf("api: implausible meta %+v", c.meta)
+	}
+	for _, name := range c.meta.Codecs {
+		if name == wire.NameBinary {
+			c.binary, c.binaryOK = true, true
+		}
 	}
 	return c, nil
 }
@@ -294,6 +334,50 @@ func (c *Client) Name() string { return c.meta.Name }
 
 // BaseURL returns the server address the client was dialed against.
 func (c *Client) BaseURL() string { return c.baseURL }
+
+// HTTPClient returns the underlying HTTP client — for subsystems (the
+// async job client, say) that extend the wire protocol with their own
+// endpoints against the same server.
+func (c *Client) HTTPClient() *http.Client { return c.httpc }
+
+// Codec returns the request codec the client currently speaks,
+// carrying its float32 preference.
+func (c *Client) Codec() wire.Codec {
+	if c.binary {
+		return wire.Binary{Float32: c.f32}
+	}
+	return wire.JSON{}
+}
+
+// CodecName returns "json" or "binary".
+func (c *Client) CodecName() string { return c.Codec().Name() }
+
+// SetCodec overrides the negotiated codec: "json" always works, "binary"
+// only against a server that advertised it.
+func (c *Client) SetCodec(name string) error {
+	switch name {
+	case wire.NameJSON:
+		c.binary = false
+	case wire.NameBinary:
+		if !c.binaryOK {
+			return fmt.Errorf("api: server %s does not advertise the binary codec", c.baseURL)
+		}
+		c.binary = true
+	default:
+		return fmt.Errorf("api: unknown codec %q", name)
+	}
+	return nil
+}
+
+// SetFloat32 opts the client's binary frames into float32 payloads —
+// half the wire bytes, explicitly excluded from bit-identity guarantees.
+// A no-op on the JSON codec.
+func (c *Client) SetFloat32(on bool) { c.f32 = on }
+
+// WireCounts snapshots the client-side wire counters: payload bytes
+// shipped and received and the codec split of its requests. A shard
+// reaches through here for its per-remote-backend /stats breakdown.
+func (c *Client) WireCounts() wire.Counts { return c.wireStats.Counts() }
 
 // Ping checks that the server still answers its /meta endpoint, with a
 // short deadline so a dead host cannot stall the caller for the transport
@@ -344,19 +428,39 @@ func (c *Client) record(err error) {
 	}
 }
 
-// post sends one JSON request, retrying transport errors, 5xx responses and
-// body decode failures up to c.retries extra times. A 4xx response is the
-// server rejecting the request itself — re-sending the same payload can only
-// waste round trips and delay the caller seeing its own mistake — so those
-// return immediately.
-func (c *Client) post(path string, body, dst any) error {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("api: encode request: %w", err)
-	}
+// countingReader funnels received payload bytes into the client's wire
+// counters as decodes consume them.
+type countingReader struct {
+	r     io.Reader
+	stats *wire.Stats
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.stats.AddBytesIn(int64(n))
+	return n, err
+}
+
+// do ships one already-encoded payload, retrying transport errors, 5xx
+// responses and body decode failures up to c.retries extra times. A 4xx
+// response is the server rejecting the request itself — re-sending the
+// same payload can only waste round trips and delay the caller seeing its
+// own mistake — so those return immediately. decode runs on 200 responses
+// and must consult the response's own Content-Type, so a JSON answer from
+// a codec-unaware peer decodes fine whatever the request asked for.
+func (c *Client) do(path string, payload []byte, decode func(*http.Response) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
-		resp, err := c.httpc.Post(c.baseURL+path, "application/json", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("api: build request: %w", err)
+		}
+		codec := c.Codec()
+		req.Header.Set("Content-Type", codec.ContentType())
+		req.Header.Set("Accept", wire.AcceptValue(codec, c.f32))
+		c.wireStats.CountRequest(c.binary)
+		c.wireStats.AddBytesOut(int64(len(payload)))
+		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = err
 			continue
@@ -370,7 +474,7 @@ func (c *Client) post(path string, body, dst any) error {
 				retryable = resp.StatusCode >= 500
 				return
 			}
-			lastErr = json.NewDecoder(resp.Body).Decode(dst)
+			lastErr = decode(resp)
 		}()
 		if lastErr == nil {
 			return nil
@@ -382,17 +486,55 @@ func (c *Client) post(path string, body, dst any) error {
 	return lastErr
 }
 
+// postVec ships a vector payload and decodes a vector response.
+func (c *Client) postVec(path, reqField string, v []float64, respField string) ([]float64, error) {
+	var buf bytes.Buffer
+	if err := c.Codec().EncodeVec(&buf, reqField, v); err != nil {
+		return nil, fmt.Errorf("api: encode request: %w", err)
+	}
+	var out []float64
+	err := c.do(path, buf.Bytes(), func(resp *http.Response) error {
+		codec := wire.ResponseBodyCodec(resp.Header.Get("Content-Type"))
+		got, err := codec.DecodeVec(&countingReader{r: resp.Body, stats: &c.wireStats}, clientMaxBody, respField)
+		if err != nil {
+			return err
+		}
+		out = got
+		return nil
+	})
+	return out, err
+}
+
+// postMat ships a matrix payload and decodes a matrix response.
+func (c *Client) postMat(path, reqField string, m [][]float64, respField string) ([][]float64, error) {
+	var buf bytes.Buffer
+	if err := c.Codec().EncodeMat(&buf, reqField, m); err != nil {
+		return nil, fmt.Errorf("api: encode request: %w", err)
+	}
+	var out [][]float64
+	err := c.do(path, buf.Bytes(), func(resp *http.Response) error {
+		codec := wire.ResponseBodyCodec(resp.Header.Get("Content-Type"))
+		got, err := codec.DecodeMat(&countingReader{r: resp.Body, stats: &c.wireStats}, clientMaxBody, respField)
+		if err != nil {
+			return err
+		}
+		out = got
+		return nil
+	})
+	return out, err
+}
+
 // PredictErr performs one remote prediction, returning transport errors
 // directly.
 func (c *Client) PredictErr(x mat.Vec) (mat.Vec, error) {
-	var out predictResponse
-	if err := c.post("/predict", predictRequest{X: x}, &out); err != nil {
+	probs, err := c.postVec("/predict", "x", x, "probs")
+	if err != nil {
 		return nil, err
 	}
-	if len(out.Probs) != c.meta.Classes {
-		return nil, fmt.Errorf("api: server returned %d probabilities, want %d", len(out.Probs), c.meta.Classes)
+	if len(probs) != c.meta.Classes {
+		return nil, fmt.Errorf("api: server returned %d probabilities, want %d", len(probs), c.meta.Classes)
 	}
-	return mat.Vec(out.Probs), nil
+	return mat.Vec(probs), nil
 }
 
 // Predict implements plm.Model with sticky error handling.
@@ -412,19 +554,19 @@ func (c *Client) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
-	req := batchRequest{Xs: make([][]float64, len(xs))}
+	rows := make([][]float64, len(xs))
 	for i, x := range xs {
-		req.Xs[i] = x
+		rows[i] = x
 	}
-	var out batchResponse
-	if err := c.post("/batch", req, &out); err != nil {
+	probs, err := c.postMat("/batch", "xs", rows, "probs")
+	if err != nil {
 		return nil, err
 	}
-	if len(out.Probs) != len(xs) {
-		return nil, fmt.Errorf("api: server returned %d batch items, want %d", len(out.Probs), len(xs))
+	if len(probs) != len(xs) {
+		return nil, fmt.Errorf("api: server returned %d batch items, want %d", len(probs), len(xs))
 	}
-	res := make([]mat.Vec, len(out.Probs))
-	for i, p := range out.Probs {
+	res := make([]mat.Vec, len(probs))
+	for i, p := range probs {
 		if len(p) != c.meta.Classes {
 			return nil, fmt.Errorf("api: batch item %d has %d probabilities, want %d", i, len(p), c.meta.Classes)
 		}

@@ -348,7 +348,9 @@ func TestEmptyBatchIsNotARoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("empty batch -> %s", resp.Status)
 	}
-	var out batchResponse
+	var out struct {
+		Probs [][]float64 `json:"probs"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}

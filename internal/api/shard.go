@@ -163,6 +163,13 @@ func (s *Shard) BackendStatus() []BackendStatus {
 			Failures: st.failures.Load(),
 			State:    state,
 		}
+		// Wire reach-through: a remote backend exposes its client-side
+		// codec traffic so /stats shows what each hop costs on the wire,
+		// mirroring how cache counters reach through the response cache.
+		if wc, ok := st.b.(wireCounter); ok {
+			counts := wc.WireCounts()
+			out[i].Wire = &counts
+		}
 	}
 	return out
 }

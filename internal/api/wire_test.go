@@ -1,0 +1,420 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/plm"
+	"repro/internal/wire"
+)
+
+// The codec interop battery: every pairing of old (JSON-only) and new
+// (binary-capable) peer must interoperate, the binary path must be
+// bit-identical to JSON, and malformed or oversized bodies must answer
+// clean 4xx statuses whatever codec they claimed to be.
+
+func wireProbes() []mat.Vec {
+	return []mat.Vec{
+		{0.1, -0.2, 0.3, 0.4},
+		{1, 1, 1, 1},
+		{-2.5, 0, 1.0 / 3.0, math.Pi},
+	}
+}
+
+func TestClientNegotiatesBinaryAutomatically(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CodecName() != wire.NameBinary {
+		t.Fatalf("dialed codec = %s, want binary against an advertising server", c.CodecName())
+	}
+	local := testModel(100)
+	xs := wireProbes()
+	got, err := c.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want := local.Predict(x)
+		for j := range want {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[j]) {
+				t.Fatalf("batch item %d class %d: binary path not bit-identical", i, j)
+			}
+		}
+	}
+	// Both sides metered the exchange as binary.
+	if sc := srv.WireCounts(); sc.BinaryRequests == 0 || sc.BytesIn == 0 || sc.BytesOut == 0 {
+		t.Fatalf("server wire counts = %+v", sc)
+	}
+	if cc := c.WireCounts(); cc.BinaryRequests == 0 || cc.BytesIn == 0 || cc.BytesOut == 0 {
+		t.Fatalf("client wire counts = %+v", cc)
+	}
+}
+
+func TestOldJSONClientAgainstNewServer(t *testing.T) {
+	// An old peer knows nothing of codecs: bare POSTs with JSON bodies and
+	// no Accept header must behave exactly as before the codec layer.
+	_, ts := newTestServer(t)
+	local := testModel(100)
+	x := mat.Vec{0.1, -0.2, 0.3, 0.4}
+	body, _ := json.Marshal(map[string]any{"x": x})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("old client answered with Content-Type %q", ct)
+	}
+	var out struct {
+		Probs []float64 `json:"probs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := local.Predict(x)
+	for j := range want {
+		if math.Float64bits(out.Probs[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("class %d: JSON path not bit-identical", j)
+		}
+	}
+}
+
+// legacyServer is a test double of the pre-codec server: /meta without a
+// codecs list, JSON-only bodies, Accept ignored. It is what a new client
+// must keep working against.
+func legacyServer(t *testing.T, model plm.Model) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /meta", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"name": "legacy", "dim": model.Dim(), "classes": model.Classes(),
+		})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		var in struct {
+			X []float64 `json:"x"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"probs": model.Predict(mat.Vec(in.X))})
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var in struct {
+			Xs [][]float64 `json:"xs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := make([][]float64, len(in.Xs))
+		for i, x := range in.Xs {
+			out[i] = model.Predict(mat.Vec(x))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"probs": out})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestNewClientAgainstLegacyJSONServer(t *testing.T) {
+	local := testModel(100)
+	ts := legacyServer(t, local)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CodecName() != wire.NameJSON {
+		t.Fatalf("codec against a non-advertising server = %s, want json", c.CodecName())
+	}
+	if err := c.SetCodec(wire.NameBinary); err == nil {
+		t.Fatal("binary codec forced onto a server that cannot parse it")
+	}
+	xs := wireProbes()
+	got, err := c.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want := local.Predict(x)
+		for j := range want {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[j]) {
+				t.Fatalf("batch item %d class %d differs against legacy server", i, j)
+			}
+		}
+	}
+	if cc := c.WireCounts(); cc.JSONRequests == 0 || cc.BinaryRequests != 0 {
+		t.Fatalf("client wire counts = %+v, want json-only traffic", cc)
+	}
+}
+
+func TestBatchProbsBitIdenticalAcrossCodecs(t *testing.T) {
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := wireProbes()
+	viaBinary, err := c.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCodec(wire.NameJSON); err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := c.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		for j := range viaBinary[i] {
+			if math.Float64bits(viaBinary[i][j]) != math.Float64bits(viaJSON[i][j]) {
+				t.Fatalf("item %d class %d: binary %x != json %x", i, j,
+					math.Float64bits(viaBinary[i][j]), math.Float64bits(viaJSON[i][j]))
+			}
+		}
+	}
+	// Back to binary for good measure — the server still advertises it.
+	if err := c.SetCodec(wire.NameBinary); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedBinaryRequestsAnswer400(t *testing.T) {
+	_, ts := newTestServer(t)
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := wire.WriteFrame(&buf, [][]float64{{1, 2, 3, 4}}, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	cases := map[string][]byte{
+		"empty body":        {},
+		"garbage":           []byte("this is not a frame at all"),
+		"bad magic":         append([]byte("NOPE"), valid[4:]...),
+		"bad version":       append([]byte("PLMB\x09"), valid[5:]...),
+		"truncated header":  valid[:10],
+		"truncated payload": valid[:len(valid)-8],
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/predict", wire.ContentTypeBinary, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s answered %s, want 400", name, resp.Status)
+		}
+	}
+	// A frame whose header lies about a gigantic payload is a size refusal,
+	// not a syntax error.
+	huge := append([]byte{}, valid[:16]...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0xff // rows
+	resp, err := http.Post(ts.URL+"/batch", wire.ContentTypeBinary, bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("hostile dims answered %s, want 413", resp.Status)
+	}
+}
+
+func TestOversizedBodyAnswers413(t *testing.T) {
+	// Regression: a body stopped by the size cap used to answer 400 — the
+	// client would conclude its request was malformed and never retry with
+	// a smaller batch. Both codecs must map the cap to 413.
+	srv := NewServer(testModel(100), "small")
+	srv.MaxBody = 256
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	bigRows := make([][]float64, 64)
+	for i := range bigRows {
+		bigRows[i] = []float64{1, 2, 3, 4}
+	}
+	var jsonBody, binBody bytes.Buffer
+	if err := (wire.JSON{}).EncodeMat(&jsonBody, "xs", bigRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := (wire.Binary{}).EncodeMat(&binBody, "xs", bigRows); err != nil {
+		t.Fatal(err)
+	}
+	for name, post := range map[string]struct {
+		ct   string
+		body *bytes.Buffer
+	}{
+		"json":   {wire.ContentTypeJSON, &jsonBody},
+		"binary": {wire.ContentTypeBinary, &binBody},
+	} {
+		resp, err := http.Post(ts.URL+"/batch", post.ct, bytes.NewReader(post.body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body answered %s, want 413", name, resp.Status)
+		}
+	}
+	// A body that fits still works.
+	small, _ := json.Marshal(map[string]any{"xs": [][]float64{{1, 2, 3, 4}}})
+	resp, err := http.Post(ts.URL+"/batch", wire.ContentTypeJSON, bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget body answered %s", resp.Status)
+	}
+}
+
+func TestStatsExposeWireCounters(t *testing.T) {
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{0.1, -0.2, 0.3, 0.4}
+	if _, err := c.PredictErr(x); err != nil { // binary
+		t.Fatal(err)
+	}
+	if err := c.SetCodec(wire.NameJSON); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictErr(x); err != nil { // json
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Queries        int64 `json:"queries"`
+		BytesIn        int64 `json:"bytes_in"`
+		BytesOut       int64 `json:"bytes_out"`
+		BinaryRequests int64 `json:"binary_requests"`
+		JSONRequests   int64 `json:"json_requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 2 || stats.BinaryRequests != 1 || stats.JSONRequests != 1 {
+		t.Fatalf("stats = %+v, want 2 queries split 1 binary / 1 json", stats)
+	}
+	if stats.BytesIn == 0 || stats.BytesOut == 0 {
+		t.Fatalf("stats = %+v, want nonzero wire bytes", stats)
+	}
+}
+
+func TestShardStatsReachThroughRemoteWireCounters(t *testing.T) {
+	// A shard fronting a remote backend reports that backend's client-side
+	// wire counters in /stats, next to its health and retry counters —
+	// same reach-through pattern the cache counters use.
+	inner := httptest.NewServer(NewServer(testModel(100), "inner"))
+	t.Cleanup(inner.Close)
+	client, err := Dial(inner.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewShardBackends([]Backend{
+		NewRemoteBackend(client),
+		NewLocalBackend(testModel(100), "local-0"),
+	}, ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := httptest.NewServer(NewServer(s, "outer"))
+	t.Cleanup(outer.Close)
+
+	// Enough traffic that the remote backend certainly served some of it.
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = []float64{0.1, 0.2, 0.3, 0.4}
+	}
+	body, _ := json.Marshal(map[string]any{"xs": xs})
+	resp, err := http.Post(outer.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch answered %s", resp.Status)
+	}
+
+	sr, err := http.Get(outer.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var stats struct {
+		Backends []struct {
+			Kind string       `json:"kind"`
+			Wire *wire.Counts `json:"wire"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Backends) != 2 {
+		t.Fatalf("%d backends in stats", len(stats.Backends))
+	}
+	for _, b := range stats.Backends {
+		switch b.Kind {
+		case "remote":
+			if b.Wire == nil {
+				t.Fatal("remote backend has no wire counters")
+			}
+			// The dialed inner hop negotiated binary automatically.
+			if b.Wire.BinaryRequests == 0 || b.Wire.BytesOut == 0 {
+				t.Fatalf("remote wire counters = %+v", *b.Wire)
+			}
+		case "local":
+			if b.Wire != nil {
+				t.Fatalf("local backend reports wire counters %+v", *b.Wire)
+			}
+		}
+	}
+}
+
+func TestFloat32OptIn(t *testing.T) {
+	_, ts := newTestServer(t)
+	c, err := Dial(ts.URL, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFloat32(true)
+	local := testModel(100)
+	x := mat.Vec{0.1, -0.2, 0.3, 0.4}
+	got, err := c.PredictErr(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f32 is lossy by contract: approximately right, no bit guarantees.
+	if !got.EqualApprox(local.Predict(x), 1e-6) {
+		t.Fatalf("f32 answer %v too far from %v", got, local.Predict(x))
+	}
+	// The response really did ride 4-byte elements: 16-byte header plus
+	// classes×4 payload, as the client's received-bytes counter shows.
+	if cc := c.WireCounts(); cc.BytesIn != int64(16+4*local.Classes()) {
+		t.Fatalf("f32 response was %d bytes, want %d", cc.BytesIn, 16+4*local.Classes())
+	}
+}

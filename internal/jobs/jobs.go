@@ -15,20 +15,28 @@
 // The job store is bounded: finished jobs are evicted oldest-first to
 // admit new ones, and when the store is full of unfinished work the submit
 // is refused with 503 — backpressure instead of an unbounded queue.
+//
+// Results page and stream (see stream.go): GET /jobs/{id}?offset=O&limit=L
+// answers just that slice of the results, and a client that negotiated the
+// binary codec receives them as a sequence of float frames — one frame per
+// chunk, written and read incrementally — so a million-instance harvest
+// never materializes one giant response body in RAM on either side.
+// Submissions ride the negotiated codec too: a binary POST /jobs carries
+// the probes as one frame with the op named by the X-PLM-Job-Op header.
 package jobs
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"repro/internal/api"
 	"repro/internal/extract"
 	"repro/internal/mat"
 	"repro/internal/plm"
+	"repro/internal/wire"
 )
 
 // Status is the lifecycle state of an async job.
@@ -74,6 +82,11 @@ type View struct {
 	// locally linear region among the submitted instances, not one per
 	// instance: the dedup is the point of the closed form.
 	Regions []Region `json:"regions,omitempty"`
+	// Total and Offset describe the result window on paginated responses
+	// (GET /jobs/{id}?offset&limit): Total is the full result count, Offset
+	// where this page starts. Absent on unpaginated (legacy) fetches.
+	Total  int `json:"total,omitempty"`
+	Offset int `json:"offset,omitempty"`
 }
 
 // job is the internal mutable record behind a View.
@@ -111,6 +124,19 @@ type Runner struct {
 	// white answers interpret jobs; nil refuses them (a server routing only
 	// to remote backends has no white-box side to extract from).
 	white plm.RegionModel
+
+	// StreamRows caps the probability rows per streamed binary result
+	// frame (0: defaultStreamRows). Small values exist for tests that want
+	// to force multi-frame streams.
+	StreamRows int
+
+	// wireStats and maxBody are adopted from the hosting server at Mount
+	// time, so job payloads count into the same /stats wire seam and obey
+	// the same body cap as /predict and /batch. Both are safe when the
+	// runner is used unmounted: wire.Stats methods are nil-safe and a zero
+	// maxBody means wire.DefaultMaxBody.
+	wireStats *wire.Stats
+	maxBody   int64
 
 	capacity int
 	queue    chan *job
@@ -309,25 +335,38 @@ func (r *Runner) runInterpret(xs []mat.Vec) ([]Region, error) {
 	return out, nil
 }
 
-// submitRequest is the POST /jobs wire form.
+// submitRequest is the JSON POST /jobs wire form. The binary form is one
+// float frame of probes with the op named by the OpHeader request header.
 type submitRequest struct {
 	Op string      `json:"op"`
 	Xs [][]float64 `json:"xs"`
 }
 
-// Mount attaches the async job endpoints to a prediction server.
+// OpHeader names the job op on binary submissions, whose frame body has no
+// room for an envelope field. Absent means predict, like the JSON form.
+const OpHeader = "X-PLM-Job-Op"
+
+// Mount attaches the async job endpoints to a prediction server and
+// adopts its wire seam (codec stats, body cap).
 func (r *Runner) Mount(s *api.Server) {
+	r.wireStats = s.WireStats()
+	r.maxBody = s.MaxBody
 	s.Handle("POST /jobs", r.handleSubmit)
 	s.Handle("GET /jobs/{id}", r.handleGet)
 }
 
 func (r *Runner) handleSubmit(w http.ResponseWriter, req *http.Request) {
-	defer req.Body.Close()
-	dec := json.NewDecoder(io.LimitReader(req.Body, 64<<20))
-	dec.DisallowUnknownFields()
+	ex := wire.NewExchange(req, r.wireStats, r.maxBody)
 	var body submitRequest
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("jobs: decode request: %w", err))
+	if ex.BinaryIn() {
+		rows, err := ex.ReadMat("xs")
+		if err != nil {
+			ex.Error(w, wire.DecodeStatus(err), fmt.Errorf("jobs: decode request: %w", err))
+			return
+		}
+		body = submitRequest{Op: req.Header.Get(OpHeader), Xs: rows}
+	} else if err := ex.ReadJSON(&body); err != nil {
+		ex.Error(w, wire.DecodeStatus(err), fmt.Errorf("jobs: decode request: %w", err))
 		return
 	}
 	if body.Op == "" {
@@ -343,27 +382,41 @@ func (r *Runner) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		if errors.Is(err, ErrBacklogFull) {
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, err)
+		ex.Error(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, View{ID: id, Op: body.Op, Status: StatusQueued, N: len(xs)})
+	// The acknowledgement is pure metadata — JSON in every codec pairing.
+	ex.WriteJSON(w, http.StatusAccepted, View{ID: id, Op: body.Op, Status: StatusQueued, N: len(xs)})
 }
 
 func (r *Runner) handleGet(w http.ResponseWriter, req *http.Request) {
+	ex := wire.NewExchange(req, r.wireStats, r.maxBody)
 	view, ok := r.Get(req.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("jobs: unknown job %q", req.PathValue("id")))
+		ex.Error(w, http.StatusNotFound, fmt.Errorf("jobs: unknown job %q", req.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	window, err := parseWindow(req)
+	if err != nil {
+		ex.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	if bin, ok := ex.BinaryOut(); ok {
+		r.streamView(w, ex, view, window, bin)
+		return
+	}
+	if window.present {
+		view = paginate(view, window)
+	}
+	ex.WriteJSON(w, http.StatusOK, view)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// headerSafe makes an error message safe to carry in a response header.
+func headerSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, s)
 }

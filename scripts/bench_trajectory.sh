@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the committed benchmark-trajectory sets (PR 3:
 # compute fast path, PR 4: heterogeneous shards, PR 5: batched training
-# epoch), merge the results into one JSON file, and gate them against the
-# committed snapshots with `benchjson -compare`.
+# epoch, PR 7: wire codecs), merge the results into one JSON file, and gate
+# them against the committed snapshots with `benchjson -compare`.
 #
 # Usage (from anywhere inside the repo; CI runs it verbatim):
 #
@@ -36,6 +36,11 @@ go test -run='^$' -bench='BenchmarkShard_(Local4|Remote2Local2)' -benchtime=20x 
 echo "== PR 5 set: batched training epoch"
 go test -run='^$' -bench='BenchmarkTrainEpoch' -benchtime=10x ./internal/nn/ >"$tmp/train.txt"
 
-cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt |
+# The small-batch codec round trips run in microseconds, so they get a
+# deeper iteration count than the heavyweight sets to keep the gate quiet.
+echo "== PR 7 set: wire codec round trips (/batch payloads, JSON vs binary)"
+go test -run='^$' -bench='BenchmarkWireBatch' -benchtime=200x ./internal/wire/ >"$tmp/wire.txt"
+
+cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt |
 	go run ./cmd/benchjson -out "$out" \
-		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json -tol "$tol"
+		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json -tol "$tol"
