@@ -18,6 +18,21 @@
 // shard: repeated probes are answered without touching any backend, and
 // /stats reports cache_hits / cache_misses / cache_evictions.
 //
+// With -fleet the backend set additionally becomes dynamic: the instance
+// mounts the registry protocol (POST /register, /heartbeat, /leave) and
+// other plmserve workers join and leave it at runtime. A worker that stops
+// heartbeating past -expire is dropped and its in-flight work drained to
+// the survivors; /stats grows a "registry" section tracking the churn. The
+// worker side is -join router:port: register with the router, heartbeat on
+// its advertised interval, re-register if the lease is lost, and leave
+// cleanly on SIGINT/SIGTERM. -advertise overrides the URL the router dials
+// back (default: derived from -addr).
+//
+// With -hedge the shard router speculatively re-dispatches chunks that sit
+// on one backend past an adaptive threshold (a multiple of that backend's
+// EWMA chunk round trip); the first answer wins bit-identically and the
+// loser is cancelled — tail latency insurance on heterogeneous fleets.
+//
 // With -jobs N the async job API is enabled: POST /jobs submits a bulk
 // predict or interpret request (answered 202 with a job id), GET /jobs/{id}
 // polls it, and a bounded worker pool runs the work on the batched fast
@@ -40,16 +55,23 @@
 //	plmserve -model plnn.json -type plnn -replicas 4 -cache 4096 -jobs 64
 //	plmserve -model plnn.json -replicas 2 -backend 10.0.0.2:8080,10.0.0.3:8080
 //	plmserve -backend 10.0.0.2:8080,10.0.0.3:8080   # pure router, no local model
+//	plmserve -fleet -hedge -addr :8080              # dynamic fleet router
+//	plmserve -model plnn.json -addr :9001 -join 10.0.0.1:8080   # worker
 //	plmserve -model lmt.json -type lmt -addr 127.0.0.1:9000 -latency 5ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
@@ -62,7 +84,7 @@ import (
 // parameters — and wraps them in the shard router when n > 1, so a single
 // big coalesced batch from an aggregated client is evaluated across all
 // replicas in parallel instead of serially on one.
-func loadReplicas(path, kind string, n int) (plm.Model, error) {
+func loadReplicas(path, kind string, n int, cfg api.ShardConfig) (plm.Model, error) {
 	if n <= 1 {
 		return modelio.Load(path, kind)
 	}
@@ -70,7 +92,7 @@ func loadReplicas(path, kind string, n int) (plm.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return api.NewShard(models)
+	return api.NewShardBackends(api.LocalBackends(models, path), cfg)
 }
 
 // loadLocalModels loads n independent copies of the model file.
@@ -126,17 +148,47 @@ func splitBackendList(v string) []string {
 	return out
 }
 
+// normalizeURL turns a host:port flag value into a base URL.
+func normalizeURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// advertiseURL derives the base URL a fleet router should dial this worker
+// back on: the -advertise override when given, otherwise -addr with an
+// empty host (":8080") filled in as loopback — the single-machine default.
+func advertiseURL(addr, advertise string) string {
+	if advertise != "" {
+		return normalizeURL(advertise)
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return normalizeURL(addr)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("plmserve: ")
 
 	var (
-		modelPath  = flag.String("model", "", "model file saved by plmtrain (required unless -backend is set)")
+		modelPath  = flag.String("model", "", "model file saved by plmtrain (required unless -backend or -fleet is set)")
 		modelType  = flag.String("type", "plnn", fmt.Sprintf("model family: one of %v", modelio.Kinds()))
 		addr       = flag.String("addr", ":8080", "listen address")
 		name       = flag.String("name", "", "advertised model name (default: file path or backend list)")
 		replicas   = flag.Int("replicas", 1, "local model replicas served behind the shard router")
 		backendsFl = flag.String("backend", "", "comma list of remote plmserve addresses to route to as shard backends")
+		fleet      = flag.Bool("fleet", false, "mount the registry protocol so workers can -join this instance at runtime")
+		expire     = flag.Duration("expire", 5*time.Second, "fleet heartbeat TTL: a worker silent this long is dropped")
+		hedge      = flag.Bool("hedge", false, "speculatively re-dispatch slow chunks to another backend (tail-latency insurance)")
+		joinFl     = flag.String("join", "", "fleet router address to register this instance with as a worker")
+		advertise  = flag.String("advertise", "", "base URL the router should dial this worker back on (default: from -addr)")
 		cacheN     = flag.Int("cache", 0, "LRU response cache entries in front of the model (0: off)")
 		jobsN      = flag.Int("jobs", 0, "async job store capacity enabling POST /jobs (0: off)")
 		jobWorkers = flag.Int("job-workers", runtime.NumCPU(), "async job pool workers")
@@ -145,37 +197,53 @@ func main() {
 	)
 	flag.Parse()
 	backendAddrs := splitBackendList(*backendsFl)
-	if *modelPath == "" && len(backendAddrs) == 0 {
-		log.Fatal("-model is required (or -backend for a pure router)")
+	if *modelPath == "" && len(backendAddrs) == 0 && !*fleet {
+		log.Fatal("-model is required (or -backend / -fleet for a pure router)")
 	}
 	if *name == "" {
-		if *modelPath != "" {
+		switch {
+		case *modelPath != "":
 			*name = *modelPath
-		} else {
+		case len(backendAddrs) > 0:
 			*name = "router(" + strings.Join(backendAddrs, ",") + ")"
+		default:
+			*name = "fleet-router"
 		}
 	}
 	if *replicas < 1 {
 		log.Fatalf("-replicas %d: need at least 1", *replicas)
 	}
+	if *expire <= 0 {
+		log.Fatalf("-expire %v: need > 0", *expire)
+	}
 
+	shardCfg := api.ShardConfig{Hedge: *hedge}
+	// A shard router is needed when the backend set is heterogeneous,
+	// dynamic, or replicated; a plain single model otherwise.
 	var model plm.Model
-	if len(backendAddrs) == 0 {
-		m, err := loadReplicas(*modelPath, *modelType, *replicas)
-		if err != nil {
-			log.Fatal(err)
-		}
-		model = m
-	} else {
+	var shard *api.Shard
+	switch {
+	case *fleet || len(backendAddrs) > 0:
 		backends, err := buildBackends(*modelPath, *modelType, *replicas, backendAddrs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		shard, err := api.NewShardBackends(backends, api.ShardConfig{})
+		sh := api.NewDynamicShard(shardCfg)
+		for _, b := range backends {
+			if err := sh.AddBackend(b); err != nil {
+				log.Fatal(err)
+			}
+		}
+		shard, model = sh, sh
+	default:
+		m, err := loadReplicas(*modelPath, *modelType, *replicas, shardCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		model = shard
+		model = m
+		if sh, ok := m.(*api.Shard); ok {
+			shard = sh
+		}
 	}
 	if *cacheN > 0 {
 		// The cache fronts the whole shard: a repeated probe is answered
@@ -192,6 +260,16 @@ func main() {
 	srv := api.NewServer(model, *name)
 	srv.Latency = *latency
 	endpoints := "GET /meta, POST /predict, POST /batch, GET /stats"
+	if *fleet {
+		// The registry must control the raw shard, not the cache wrapper:
+		// membership changes route around the cache either way, and the
+		// cache keeps serving hits while the fleet churns underneath it.
+		reg := api.NewRegistry(shard, api.RegistryConfig{TTL: *expire})
+		reg.Mount(srv)
+		reg.Start()
+		defer reg.Stop()
+		endpoints += ", POST /register, POST /heartbeat, POST /leave"
+	}
 	if *jobsN > 0 {
 		// Interpret jobs extract from a dedicated white-box copy, so the
 		// closed-form compositions never contend with the serving replicas
@@ -238,5 +316,37 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var sessDone chan struct{}
+	if *joinFl != "" {
+		// Worker half of the fleet protocol: register with the router,
+		// heartbeat, re-register on a lost lease, and leave on shutdown.
+		sess := &api.FleetSession{
+			Router:    normalizeURL(*joinFl),
+			Advertise: advertiseURL(*addr, *advertise),
+			Logf:      log.Printf,
+		}
+		sessDone = make(chan struct{})
+		go func() {
+			defer close(sessDone)
+			_ = sess.Run(ctx)
+		}()
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		// Graceful exit: say goodbye to the router (so our chunks drain to
+		// the survivors immediately instead of after the TTL), then stop
+		// accepting traffic.
+		if sessDone != nil {
+			<-sessDone
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = httpSrv.Shutdown(shutCtx)
+		cancel()
+	}
 }

@@ -27,11 +27,11 @@ func TestLoadReplicasServesShardedStats(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	single, err := loadReplicas(path, "plnn", 1)
+	single, err := loadReplicas(path, "plnn", 1, api.ShardConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := loadReplicas(path, "plnn", 4)
+	sharded, err := loadReplicas(path, "plnn", 4, api.ShardConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestLoadReplicasServesShardedStats(t *testing.T) {
 }
 
 func TestLoadReplicasBadInputs(t *testing.T) {
-	if _, err := loadReplicas(filepath.Join(t.TempDir(), "missing.json"), "plnn", 2); err == nil {
+	if _, err := loadReplicas(filepath.Join(t.TempDir(), "missing.json"), "plnn", 2, api.ShardConfig{}); err == nil {
 		t.Fatal("missing model file accepted")
 	}
 	rng := rand.New(rand.NewSource(2))
@@ -98,7 +98,7 @@ func TestLoadReplicasBadInputs(t *testing.T) {
 	if err := nn.New(rng, 4, 6, 2).Save(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadReplicas(path, "nope", 1); err == nil {
+	if _, err := loadReplicas(path, "nope", 1, api.ShardConfig{}); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
@@ -114,7 +114,7 @@ func TestCachedShardedServer(t *testing.T) {
 	if err := net.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	model, err := loadReplicas(path, "plnn", 2)
+	model, err := loadReplicas(path, "plnn", 2, api.ShardConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

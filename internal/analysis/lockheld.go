@@ -11,9 +11,11 @@ import (
 //
 //  1. A mutex must not be held across a blocking operation: a channel send,
 //     receive or select, a net/http client round-trip, a backend Healthy()
-//     probe, time.Sleep, or a sync.WaitGroup/sync.Cond Wait. Every backend
-//     in a shard shares these mutexes; one slow probe under the lock stalls
-//     the whole router.
+//     probe, a Ping/PingCtx health check, a Dial handshake, time.Sleep, or
+//     a sync.WaitGroup/sync.Cond Wait. Every backend in a shard shares
+//     these mutexes — and the fleet registry's membership lock fronts every
+//     router request — so one slow probe or worker dial-back under a lock
+//     stalls the whole router.
 //  2. A manually paired Unlock (not deferred) must not have branching
 //     control flow between Lock and the first matching Unlock: a panic or
 //     an early return on one of those paths leaves the mutex locked
@@ -212,11 +214,17 @@ func reportBlockingIn(pass *Pass, body *ast.BlockStmt, lock lockEvent, from, to 
 }
 
 // blockingCallDesc describes a call known to block: http client
-// round-trips, Healthy probes, time.Sleep, and sync Wait.
+// round-trips, Healthy/Ping probes, Dial handshakes, time.Sleep, and sync
+// Wait. Ping/PingCtx and Dial joined the list with the fleet registry —
+// registering a worker dials it back, and a dial or health probe under the
+// membership lock would stall every router request behind one sick peer.
 func blockingCallDesc(pass *Pass, call *ast.CallExpr) string {
 	if pkg, name, ok := pkgFunc(pass.TypesInfo, call); ok {
 		if pkg == "time" && name == "Sleep" {
 			return "time.Sleep"
+		}
+		if name == "Dial" {
+			return "Dial round-trip"
 		}
 		return ""
 	}
@@ -232,6 +240,12 @@ func blockingCallDesc(pass *Pass, call *ast.CallExpr) string {
 	name := m.Name()
 	if name == "Healthy" {
 		return "Healthy() probe"
+	}
+	if name == "Ping" || name == "PingCtx" {
+		return name + "() probe"
+	}
+	if name == "Dial" {
+		return "Dial round-trip"
 	}
 	if m.Pkg() != nil {
 		switch m.Pkg().Path() {

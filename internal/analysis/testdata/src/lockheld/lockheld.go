@@ -3,6 +3,7 @@
 package a
 
 import (
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -11,6 +12,10 @@ import (
 type backend struct{}
 
 func (backend) Healthy() bool { return true }
+
+func (backend) Ping() error { return nil }
+
+func (backend) PingCtx() error { return nil }
 
 type state struct {
 	mu     sync.Mutex
@@ -99,6 +104,25 @@ func (s *state) probeUnderLock() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.Healthy() // want "Healthy\(\) probe while holding s.mu"
+}
+
+func (s *state) pingUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Ping() // want "Ping\(\) probe while holding s.mu"
+}
+
+func (s *state) pingCtxUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.PingCtx() // want "PingCtx\(\) probe while holding s.mu"
+}
+
+func (s *state) dialUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := net.Dial("tcp", "example.invalid:1") // want "Dial round-trip while holding s.mu"
+	return err
 }
 
 func (s *state) sleepUnderManualLock() {

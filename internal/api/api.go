@@ -221,6 +221,41 @@ func (f *Flaky) Predict(x mat.Vec) mat.Vec {
 	return f.inner.Predict(x)
 }
 
+// PredictBatch corrupts each row independently with probability rate —
+// same seeded RNG as Predict, so a batched robustness test draws from the
+// identical fault stream — and forwards the whole batch to the inner
+// model's batched path, overwriting the corrupted rows afterwards. The
+// batch itself never errors: Flaky models degraded answers, not transport
+// failure (that's the chaos package's job).
+func (f *Flaky) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	bad := f.rollRows(len(xs))
+	ys, err := predictAllErr(f.inner, xs)
+	if err != nil {
+		return nil, err
+	}
+	classes := f.inner.Classes()
+	for i := range ys {
+		if !bad[i] {
+			continue
+		}
+		f.fails.Add(1)
+		u := make(mat.Vec, classes)
+		ys[i] = u.Fill(1 / float64(classes))
+	}
+	return ys, nil
+}
+
+// rollRows draws one corruption decision per row from the seeded stream.
+func (f *Flaky) rollRows(n int) []bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bad := make([]bool, n)
+	for i := range bad {
+		bad[i] = f.rng.Float64() < f.rate
+	}
+	return bad
+}
+
 // Dim forwards to the wrapped model.
 func (f *Flaky) Dim() int { return f.inner.Dim() }
 

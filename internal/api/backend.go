@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mat"
@@ -16,21 +17,28 @@ import (
 // backend is allowed to be down, and the router's job is to notice and
 // route around it rather than corrupt a batch.
 //
+// Every call takes a context: a caller's timeout or cancellation must reach
+// the wire (a hedged chunk's losing attempt is cancelled the moment the
+// winner answers; a dead caller's fan-out stops instead of running to
+// completion for nobody). Local backends are pure compute and only check
+// the context between probes; remote ones thread it into the HTTP request.
+//
 // Implementations must be safe for concurrent use; the shard dispatches
 // chunks to one backend from at most one goroutine at a time, but single
-// predictions and /stats reads interleave freely.
+// predictions, hedged duplicates and /stats reads interleave freely.
 type Backend interface {
 	// Predict answers one probe.
-	Predict(x mat.Vec) (mat.Vec, error)
+	Predict(ctx context.Context, x mat.Vec) (mat.Vec, error)
 	// PredictBatch answers a batch of probes, one output per input.
-	PredictBatch(xs []mat.Vec) ([]mat.Vec, error)
+	PredictBatch(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error)
 	// Stats describes the backend: kind, name and model shape. The shape is
 	// what NewShardBackends validates replica interchangeability against.
 	Stats() BackendStats
 	// Healthy reports whether the backend can currently answer. Local
-	// backends are always healthy; remote ones ping their server. The shard
-	// calls this only on quarantine-recovery probes, never on the hot path.
-	Healthy() bool
+	// backends are always healthy; remote ones ping their server under the
+	// context's deadline. The shard calls this only on quarantine-recovery
+	// probes, never on the hot path.
+	Healthy(ctx context.Context) bool
 }
 
 // BackendStats identifies a backend: its kind ("local" or "remote"), a
@@ -43,7 +51,8 @@ type BackendStats struct {
 }
 
 // BackendStatus is the live per-backend view /stats reports: identity plus
-// the router's inflight, retry and failure counters and the health state.
+// the router's inflight, retry, failure and hedge counters and the health
+// state.
 type BackendStatus struct {
 	Kind string `json:"kind"` // "local" or "remote"
 	Name string `json:"name"`
@@ -56,6 +65,14 @@ type BackendStatus struct {
 	Retries int64 `json:"retries"`
 	// Failures counts calls (chunk, single or recovery probe) that errored.
 	Failures int64 `json:"failures"`
+	// Hedges counts speculative duplicate dispatches launched because this
+	// backend sat on a chunk past its hedge threshold.
+	Hedges int64 `json:"hedges"`
+	// HedgeWins counts hedged chunks this backend answered first.
+	HedgeWins int64 `json:"hedge_wins"`
+	// HedgeCancels counts this backend's attempts cancelled or discarded
+	// because another backend's copy of the same chunk won the race.
+	HedgeCancels int64 `json:"hedge_cancels"`
 	// State is "ok" for a serving backend and "unreachable" while the
 	// backend is quarantined after failures. It reflects the router's
 	// bookkeeping, not a live probe — /stats stays cheap.
@@ -85,11 +102,20 @@ func NewLocalBackend(model plm.Model, name string) Backend {
 	return &localBackend{model: model, name: name}
 }
 
-func (b *localBackend) Predict(x mat.Vec) (mat.Vec, error) {
+// Predict answers in-process. A local forward is not interruptible compute,
+// so the context is only consulted before it starts: an already-cancelled
+// caller gets its cancellation instead of a result it will discard.
+func (b *localBackend) Predict(ctx context.Context, x mat.Vec) (mat.Vec, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return b.model.Predict(x), nil
 }
 
-func (b *localBackend) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+func (b *localBackend) PredictBatch(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return predictAllErr(b.model, xs)
 }
 
@@ -97,11 +123,13 @@ func (b *localBackend) Stats() BackendStats {
 	return BackendStats{Kind: "local", Name: b.name, Dim: b.model.Dim(), Classes: b.model.Classes()}
 }
 
-func (b *localBackend) Healthy() bool { return true }
+func (b *localBackend) Healthy(context.Context) bool { return true }
 
 // remoteBackend adapts an api.Client to the Backend interface: a shard
 // replica that is itself another plmserve instance, reached over HTTP —
-// the topology `plmserve -backend host:port` wires up.
+// the topology `plmserve -backend host:port` wires up, and the backend a
+// dynamically registered worker (`plmserve -join`) turns into on the
+// router side.
 type remoteBackend struct {
 	client *Client
 }
@@ -111,12 +139,12 @@ func NewRemoteBackend(client *Client) Backend {
 	return &remoteBackend{client: client}
 }
 
-func (b *remoteBackend) Predict(x mat.Vec) (mat.Vec, error) {
-	return b.client.PredictErr(x)
+func (b *remoteBackend) Predict(ctx context.Context, x mat.Vec) (mat.Vec, error) {
+	return b.client.PredictErrCtx(ctx, x)
 }
 
-func (b *remoteBackend) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
-	return b.client.PredictBatch(xs)
+func (b *remoteBackend) PredictBatch(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error) {
+	return b.client.PredictBatchCtx(ctx, xs)
 }
 
 func (b *remoteBackend) Stats() BackendStats {
@@ -128,9 +156,10 @@ func (b *remoteBackend) Stats() BackendStats {
 	}
 }
 
-// Healthy pings the remote's /meta endpoint with a short deadline. Used by
-// the shard's quarantine-recovery probe.
-func (b *remoteBackend) Healthy() bool { return b.client.Ping() == nil }
+// Healthy pings the remote's /meta endpoint under the caller's context and
+// the client's own PingTimeout, whichever ends first. Used by the shard's
+// quarantine-recovery probe.
+func (b *remoteBackend) Healthy(ctx context.Context) bool { return b.client.PingCtx(ctx) == nil }
 
 // WireCounts forwards the dialed client's wire counters — the /stats
 // per-backend reach-through.

@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -37,23 +38,24 @@ func TestBackendAdaptersAgree(t *testing.T) {
 		ls.Dim != rs.Dim || ls.Classes != rs.Classes {
 		t.Fatalf("adapter stats disagree: %+v vs %+v", ls, rs)
 	}
+	ctx := context.Background()
 	x := mat.Vec{0.3, -0.2, 0.7, 0.1}
-	lp, err := local.Predict(x)
+	lp, err := local.Predict(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := remote.Predict(x)
+	rp, err := remote.Predict(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !lp.EqualApprox(rp, 0) {
 		t.Fatalf("local %v != remote %v", lp, rp)
 	}
-	if !local.Healthy() || !remote.Healthy() {
+	if !local.Healthy(ctx) || !remote.Healthy(ctx) {
 		t.Fatal("live backends report unhealthy")
 	}
 	ts.Close()
-	if remote.Healthy() {
+	if remote.Healthy(ctx) {
 		t.Fatal("dead remote reports healthy")
 	}
 }

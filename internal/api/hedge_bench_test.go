@@ -1,0 +1,94 @@
+package api_test
+
+// The hedging trajectory benchmark lives in the external test package so it
+// can report tail latency through eval.Percentile (eval imports api; the
+// internal test package would cycle).
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/eval"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+)
+
+func tailBenchModel() *openbox.PLNN {
+	return &openbox.PLNN{Net: nn.New(rand.New(rand.NewSource(400)), 32, 64, 32, 5)}
+}
+
+func tailBenchProbes(n int) []mat.Vec {
+	rng := rand.New(rand.NewSource(401))
+	xs := make([]mat.Vec, n)
+	for i := range xs {
+		xs[i] = make(mat.Vec, 32)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+// runTailBench measures per-batch wall time on a heterogeneous fleet — one
+// fast local replica, one remote whose every tenth request stalls — and
+// reports the p99 alongside ns/op. The deterministic every-Nth spike is the
+// point: hedging cannot beat a *uniformly* slow backend (the EWMA adapts
+// and routes around it), but it must beat a backend with a latency *tail*,
+// which is exactly what BENCH_pr8.json gates.
+func runTailBench(b *testing.B, cfg api.ShardConfig) {
+	inner := api.NewServer(tailBenchModel(), "spiky")
+	var reqs atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if reqs.Add(1)%10 == 0 {
+			time.Sleep(8 * time.Millisecond)
+		}
+		inner.ServeHTTP(w, req)
+	}))
+	defer ts.Close()
+	client, err := api.Dial(ts.URL, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := api.NewShardBackends([]api.Backend{
+		api.NewLocalBackend(tailBenchModel(), "fast"),
+		api.NewRemoteBackend(client),
+	}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := tailBenchProbes(256)
+	lat := make([]float64, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := s.PredictBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+	}
+	b.StopTimer()
+	b.ReportMetric(eval.Percentile(lat, 0.99), "p99-ns")
+}
+
+// BenchmarkShard_Tail_Unhedged is the baseline: a latency spike on the
+// remote backend rides all the way into the caller's batch time.
+func BenchmarkShard_Tail_Unhedged(b *testing.B) {
+	runTailBench(b, api.ShardConfig{})
+}
+
+// BenchmarkShard_Tail_Hedged races a duplicate of any chunk outstanding
+// past the adaptive threshold; the fast local replica answers the spiked
+// chunks and the p99 drops — the number BENCH_pr8.json holds the fleet to.
+func BenchmarkShard_Tail_Hedged(b *testing.B) {
+	runTailBench(b, api.ShardConfig{
+		Hedge:    true,
+		HedgeMin: 2 * time.Millisecond,
+	})
+}

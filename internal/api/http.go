@@ -63,6 +63,9 @@ type statsResponse struct {
 	CacheMisses    *int64 `json:"cache_misses,omitempty"`
 	CacheEvictions *int64 `json:"cache_evictions,omitempty"`
 	CacheSize      *int   `json:"cache_size,omitempty"`
+	// Registry is the fleet-membership section a mounted Registry fills in:
+	// live members and the join/leave/expiry transition counters.
+	Registry *RegistryStatus `json:"registry,omitempty"`
 }
 
 // serverCodecs is what /meta advertises.
@@ -88,6 +91,9 @@ type Server struct {
 	// MaxBody caps request body bytes (0: wire.DefaultMaxBody, 64 MB). A
 	// body stopped by the cap answers 413, not a generic decode 400.
 	MaxBody int64
+	// statsExtras are hooks mounted subsystems (the fleet registry) use to
+	// add their own sections to the /stats report.
+	statsExtras []func(*statsResponse)
 }
 
 // NewServer wraps model as an HTTP prediction service.
@@ -150,6 +156,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.ReplicaQueries = sh.ReplicaQueries()
 		resp.Backends = sh.BackendStatus()
 	}
+	for _, extra := range s.statsExtras {
+		extra(&resp)
+	}
 	wire.WriteJSON(w, http.StatusOK, resp)
 }
 
@@ -177,16 +186,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Models with an error surface (a Shard whose backends are all gone,
 	// say) answer 5xx rather than fabricating probabilities — and like a
 	// failed batch, a failed prediction delivered nothing, so it is not
-	// counted.
+	// counted. Context-aware models additionally see the request context, so
+	// a client that hangs up cancels its own fan-out.
 	var probs mat.Vec
-	if ep, ok := s.model.(errPredictor); ok {
-		p, err := ep.PredictErr(mat.Vec(x))
+	switch m := s.model.(type) {
+	case ctxErrPredictor:
+		p, err := m.PredictErrCtx(r.Context(), mat.Vec(x))
 		if err != nil {
 			ex.Error(w, http.StatusInternalServerError, err)
 			return
 		}
 		probs = p
-	} else {
+	case errPredictor:
+		p, err := m.PredictErr(mat.Vec(x))
+		if err != nil {
+			ex.Error(w, http.StatusInternalServerError, err)
+			return
+		}
+		probs = p
+	default:
 		probs = s.model.Predict(mat.Vec(x))
 	}
 	s.requests.Add(1)
@@ -199,6 +217,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // degraded into a uniform answer.
 type errPredictor interface {
 	PredictErr(x mat.Vec) (mat.Vec, error)
+}
+
+// ctxErrPredictor is the deadline-aware refinement of errPredictor: the
+// server hands the request context down so a caller timeout cancels the
+// shard fan-out behind the endpoint.
+type ctxErrPredictor interface {
+	PredictErrCtx(ctx context.Context, x mat.Vec) (mat.Vec, error)
+}
+
+// ctxBatchPredictor is the deadline-aware refinement of plm.BatchPredictor.
+type ctxBatchPredictor interface {
+	PredictBatchCtx(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -235,8 +265,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// per-probe evaluation. Count only after it succeeds: a failed batch
 	// delivered zero answers, and counting it (times the client's 5xx
 	// retries) would skew the queries/round_trips ratio like any other
-	// rejected request.
-	ys, err := predictAllErr(s.model, xs)
+	// rejected request. Context-aware models see the request context so a
+	// hung-up client cancels the fan-out instead of burning backends.
+	var ys []mat.Vec
+	if cb, ok := s.model.(ctxBatchPredictor); ok {
+		ys, err = cb.PredictBatchCtx(r.Context(), xs)
+	} else {
+		ys, err = predictAllErr(s.model, xs)
+	}
 	if err != nil {
 		ex.Error(w, http.StatusInternalServerError, err)
 		return
@@ -291,6 +327,11 @@ type Client struct {
 	f32       bool
 	wireStats wire.Stats
 
+	// PingTimeout bounds each Ping/PingCtx health probe so a dead host
+	// cannot stall the prober for the transport timeout. Dial sets 2s;
+	// zero disables the bound (the caller's context still applies).
+	PingTimeout time.Duration
+
 	mu  sync.Mutex
 	err error
 }
@@ -306,7 +347,7 @@ func Dial(baseURL string, httpc *http.Client, retries int) (*Client, error) {
 	if retries < 0 {
 		retries = 0
 	}
-	c := &Client{baseURL: baseURL, httpc: httpc, retries: retries}
+	c := &Client{baseURL: baseURL, httpc: httpc, retries: retries, PingTimeout: 2 * time.Second}
 	resp, err := httpc.Get(baseURL + "/meta")
 	if err != nil {
 		return nil, fmt.Errorf("api: dial %s: %w", baseURL, err)
@@ -379,12 +420,19 @@ func (c *Client) SetFloat32(on bool) { c.f32 = on }
 // reaches through here for its per-remote-backend /stats breakdown.
 func (c *Client) WireCounts() wire.Counts { return c.wireStats.Counts() }
 
-// Ping checks that the server still answers its /meta endpoint, with a
-// short deadline so a dead host cannot stall the caller for the transport
-// timeout. It is the health probe remote shard backends use.
-func (c *Client) Ping() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
+// Ping checks that the server still answers its /meta endpoint under the
+// client's PingTimeout. It is the health probe remote shard backends use.
+func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
+
+// PingCtx is Ping under a caller context: the probe ends at the earlier of
+// the context's deadline and the client's PingTimeout, so a recovery probe
+// inherits the shard's probe budget while a caller hang-up stops it at once.
+func (c *Client) PingCtx(ctx context.Context) error {
+	if c.PingTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.PingTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/meta", nil)
 	if err != nil {
 		return fmt.Errorf("api: ping %s: %w", c.baseURL, err)
@@ -445,13 +493,22 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // responses and body decode failures up to c.retries extra times. A 4xx
 // response is the server rejecting the request itself — re-sending the
 // same payload can only waste round trips and delay the caller seeing its
-// own mistake — so those return immediately. decode runs on 200 responses
-// and must consult the response's own Content-Type, so a JSON answer from
-// a codec-unaware peer decodes fine whatever the request asked for.
-func (c *Client) do(path string, payload []byte, decode func(*http.Response) error) error {
+// own mistake — so those return immediately. A done context also returns
+// immediately: retrying a request whose caller is gone (deadline hit, or a
+// hedge race already won elsewhere) only burns the server. decode runs on
+// 200 responses and must consult the response's own Content-Type, so a
+// JSON answer from a codec-unaware peer decodes fine whatever the request
+// asked for.
+func (c *Client) do(ctx context.Context, path string, payload []byte, decode func(*http.Response) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
-		req, err := http.NewRequest(http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return lastErr
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("api: build request: %w", err)
 		}
@@ -487,13 +544,13 @@ func (c *Client) do(path string, payload []byte, decode func(*http.Response) err
 }
 
 // postVec ships a vector payload and decodes a vector response.
-func (c *Client) postVec(path, reqField string, v []float64, respField string) ([]float64, error) {
+func (c *Client) postVec(ctx context.Context, path, reqField string, v []float64, respField string) ([]float64, error) {
 	var buf bytes.Buffer
 	if err := c.Codec().EncodeVec(&buf, reqField, v); err != nil {
 		return nil, fmt.Errorf("api: encode request: %w", err)
 	}
 	var out []float64
-	err := c.do(path, buf.Bytes(), func(resp *http.Response) error {
+	err := c.do(ctx, path, buf.Bytes(), func(resp *http.Response) error {
 		codec := wire.ResponseBodyCodec(resp.Header.Get("Content-Type"))
 		got, err := codec.DecodeVec(&countingReader{r: resp.Body, stats: &c.wireStats}, clientMaxBody, respField)
 		if err != nil {
@@ -506,13 +563,13 @@ func (c *Client) postVec(path, reqField string, v []float64, respField string) (
 }
 
 // postMat ships a matrix payload and decodes a matrix response.
-func (c *Client) postMat(path, reqField string, m [][]float64, respField string) ([][]float64, error) {
+func (c *Client) postMat(ctx context.Context, path, reqField string, m [][]float64, respField string) ([][]float64, error) {
 	var buf bytes.Buffer
 	if err := c.Codec().EncodeMat(&buf, reqField, m); err != nil {
 		return nil, fmt.Errorf("api: encode request: %w", err)
 	}
 	var out [][]float64
-	err := c.do(path, buf.Bytes(), func(resp *http.Response) error {
+	err := c.do(ctx, path, buf.Bytes(), func(resp *http.Response) error {
 		codec := wire.ResponseBodyCodec(resp.Header.Get("Content-Type"))
 		got, err := codec.DecodeMat(&countingReader{r: resp.Body, stats: &c.wireStats}, clientMaxBody, respField)
 		if err != nil {
@@ -527,7 +584,13 @@ func (c *Client) postMat(path, reqField string, m [][]float64, respField string)
 // PredictErr performs one remote prediction, returning transport errors
 // directly.
 func (c *Client) PredictErr(x mat.Vec) (mat.Vec, error) {
-	probs, err := c.postVec("/predict", "x", x, "probs")
+	return c.PredictErrCtx(context.Background(), x)
+}
+
+// PredictErrCtx is PredictErr under a caller context: the request is
+// cancelled — including retries in flight — the moment the context ends.
+func (c *Client) PredictErrCtx(ctx context.Context, x mat.Vec) (mat.Vec, error) {
+	probs, err := c.postVec(ctx, "/predict", "x", x, "probs")
 	if err != nil {
 		return nil, err
 	}
@@ -551,6 +614,13 @@ func (c *Client) Predict(x mat.Vec) mat.Vec {
 // PredictBatch performs one batched remote prediction. An empty batch is
 // answered locally — there is nothing to ask the server.
 func (c *Client) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	return c.PredictBatchCtx(context.Background(), xs)
+}
+
+// PredictBatchCtx is PredictBatch under a caller context. It is how a shard
+// deadline (or a hedge race loss) reaches the wire: the HTTP request is
+// built on the context and dies with it.
+func (c *Client) PredictBatchCtx(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
@@ -558,7 +628,7 @@ func (c *Client) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 	for i, x := range xs {
 		rows[i] = x
 	}
-	probs, err := c.postMat("/batch", "xs", rows, "probs")
+	probs, err := c.postMat(ctx, "/batch", "xs", rows, "probs")
 	if err != nil {
 		return nil, err
 	}
@@ -579,3 +649,6 @@ var _ plm.Model = (*Client)(nil)
 var _ plm.Model = (*Counter)(nil)
 var _ plm.Model = (*Cache)(nil)
 var _ plm.Model = (*Flaky)(nil)
+var _ plm.BatchPredictor = (*Flaky)(nil)
+var _ ctxErrPredictor = (*Client)(nil)
+var _ ctxBatchPredictor = (*Client)(nil)

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,14 @@ func (rc *ResponseCache) insert(key string, p mat.Vec) {
 // outage behind the cache reaches the server as an error (and is not
 // cached) instead of being memoized as a fabricated answer.
 func (rc *ResponseCache) PredictErr(x mat.Vec) (mat.Vec, error) {
+	return rc.PredictErrCtx(context.Background(), x)
+}
+
+// PredictErrCtx is PredictErr with the caller's context threaded through to
+// a context-aware inner model — the cache must not be the layer where a
+// deadline stops propagating. Hits never consult the context: a cached
+// answer is free.
+func (rc *ResponseCache) PredictErrCtx(ctx context.Context, x mat.Vec) (mat.Vec, error) {
 	key := cacheKey(x)
 	if p, ok := rc.lookup(key); ok {
 		rc.hits.Add(1)
@@ -91,15 +100,20 @@ func (rc *ResponseCache) PredictErr(x mat.Vec) (mat.Vec, error) {
 	}
 	rc.misses.Add(1)
 	var p mat.Vec
-	if ep, ok := rc.inner.(interface {
-		PredictErr(mat.Vec) (mat.Vec, error)
-	}); ok {
+	switch ep := rc.inner.(type) {
+	case ctxErrPredictor:
+		got, err := ep.PredictErrCtx(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		p = got
+	case errPredictor:
 		got, err := ep.PredictErr(x)
 		if err != nil {
 			return nil, err
 		}
 		p = got
-	} else {
+	default:
 		p = rc.inner.Predict(x)
 	}
 	rc.insert(key, p.Clone())
@@ -124,6 +138,13 @@ func (rc *ResponseCache) Predict(x mat.Vec) mat.Vec {
 // count as hits — they cost no model query. The first inner error fails the
 // whole batch, matching Shard's all-or-nothing contract.
 func (rc *ResponseCache) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+	return rc.PredictBatchCtx(context.Background(), xs)
+}
+
+// PredictBatchCtx is PredictBatch with the caller's context threaded
+// through to a context-aware inner model, so a caller timeout cancels the
+// miss batch's fan-out behind the cache.
+func (rc *ResponseCache) PredictBatchCtx(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
@@ -155,7 +176,13 @@ func (rc *ResponseCache) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 	if len(missXs) == 0 {
 		return out, nil
 	}
-	ys, err := predictAllErr(rc.inner, missXs)
+	var ys []mat.Vec
+	var err error
+	if cb, ok := rc.inner.(ctxBatchPredictor); ok {
+		ys, err = cb.PredictBatchCtx(ctx, missXs)
+	} else {
+		ys, err = predictAllErr(rc.inner, missXs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -175,3 +202,5 @@ func (rc *ResponseCache) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
 
 var _ plm.Model = (*ResponseCache)(nil)
 var _ plm.BatchPredictor = (*ResponseCache)(nil)
+var _ ctxErrPredictor = (*ResponseCache)(nil)
+var _ ctxBatchPredictor = (*ResponseCache)(nil)

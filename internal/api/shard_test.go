@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -140,21 +141,21 @@ type scriptedBackend struct {
 	down atomic.Bool
 }
 
-func (b *scriptedBackend) Predict(x mat.Vec) (mat.Vec, error) {
+func (b *scriptedBackend) Predict(ctx context.Context, x mat.Vec) (mat.Vec, error) {
 	if b.down.Load() {
 		return nil, errors.New("backend down")
 	}
-	return b.Backend.Predict(x)
+	return b.Backend.Predict(ctx, x)
 }
 
-func (b *scriptedBackend) PredictBatch(xs []mat.Vec) ([]mat.Vec, error) {
+func (b *scriptedBackend) PredictBatch(ctx context.Context, xs []mat.Vec) ([]mat.Vec, error) {
 	if b.down.Load() {
 		return nil, errors.New("backend down")
 	}
-	return b.Backend.PredictBatch(xs)
+	return b.Backend.PredictBatch(ctx, xs)
 }
 
-func (b *scriptedBackend) Healthy() bool { return !b.down.Load() }
+func (b *scriptedBackend) Healthy(context.Context) bool { return !b.down.Load() }
 
 func shardProbes(n int) []mat.Vec {
 	xs := make([]mat.Vec, n)

@@ -6,10 +6,35 @@ package eval
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/mat"
 	"repro/internal/plm"
 )
+
+// Percentile returns the p-quantile (p in [0,1]) of xs by the nearest-rank
+// method on a sorted copy — the estimator the latency batteries and the
+// hedging benchmark use for tail (p99) reporting. An empty slice yields
+// NaN; p is clamped into [0,1].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
 
 // RegionDifference is the paper's RD metric: 0 when every sampled instance
 // shares x0's locally linear region, 1 otherwise.

@@ -2,11 +2,13 @@ package jobs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/mat"
@@ -23,8 +25,59 @@ import (
 // jsonPageRows is the page size of the JSON fallback result loop.
 const jsonPageRows = 4096
 
+// submitRetries bounds how many 503 backpressure responses SubmitCtx
+// absorbs — each costs one Retry-After wait — before surfacing the error.
+const submitRetries = 2
+
+// maxRetryAfter caps how long a single Retry-After header can make the
+// client wait, so a confused (or hostile) server cannot park it for hours.
+const maxRetryAfter = 30 * time.Second
+
+// retrySleep waits out one Retry-After interval or the caller's context,
+// whichever ends first. A variable so tests can observe waits without
+// serving them in real time.
+var retrySleep = func(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Submit ships a bulk job and returns the server's acknowledgement view.
 func Submit(c *api.Client, op string, xs []mat.Vec) (View, error) {
+	return SubmitCtx(context.Background(), c, op, xs)
+}
+
+// SubmitCtx is Submit under a caller context. A saturated server's 503
+// carries a Retry-After hint (its mean job drain time); SubmitCtx honors
+// it — a bounded number of times, with the wait cancellable through ctx —
+// before handing the backpressure to the caller.
+func SubmitCtx(ctx context.Context, c *api.Client, op string, xs []mat.Vec) (View, error) {
+	for attempt := 0; ; attempt++ {
+		v, retryAfter, err := submitOnce(ctx, c, op, xs)
+		if err == nil {
+			return v, nil
+		}
+		if retryAfter <= 0 || attempt >= submitRetries {
+			return View{}, err
+		}
+		if retryAfter > maxRetryAfter {
+			retryAfter = maxRetryAfter
+		}
+		if serr := retrySleep(ctx, retryAfter); serr != nil {
+			return View{}, fmt.Errorf("jobs: submit retry abandoned: %w", serr)
+		}
+	}
+}
+
+// submitOnce performs a single submit round trip. On a 503 whose
+// Retry-After header parses, the returned duration is positive and the
+// caller may wait and retry; every other failure returns zero.
+func submitOnce(ctx context.Context, c *api.Client, op string, xs []mat.Vec) (View, time.Duration, error) {
 	rows := make([][]float64, len(xs))
 	for i, x := range xs {
 		rows[i] = x
@@ -38,11 +91,11 @@ func Submit(c *api.Client, op string, xs []mat.Vec) (View, error) {
 		err = wire.EncodeJSON(&buf, submitRequest{Op: op, Xs: rows})
 	}
 	if err != nil {
-		return View{}, fmt.Errorf("jobs: encode submit: %w", err)
+		return View{}, 0, fmt.Errorf("jobs: encode submit: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL()+"/jobs", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL()+"/jobs", &buf)
 	if err != nil {
-		return View{}, fmt.Errorf("jobs: build submit: %w", err)
+		return View{}, 0, fmt.Errorf("jobs: build submit: %w", err)
 	}
 	req.Header.Set("Content-Type", codec.ContentType())
 	if codec.Name() == wire.NameBinary {
@@ -50,17 +103,23 @@ func Submit(c *api.Client, op string, xs []mat.Vec) (View, error) {
 	}
 	resp, err := c.HTTPClient().Do(req)
 	if err != nil {
-		return View{}, fmt.Errorf("jobs: submit: %w", err)
+		return View{}, 0, fmt.Errorf("jobs: submit: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return View{}, respError("submit", resp)
+		var retryAfter time.Duration
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return View{}, retryAfter, respError("submit", resp)
 	}
 	var v View
 	if err := wire.DecodeJSON(resp.Body, wire.DefaultMaxBody, &v, false); err != nil {
-		return View{}, fmt.Errorf("jobs: decode submit ack: %w", err)
+		return View{}, 0, fmt.Errorf("jobs: decode submit ack: %w", err)
 	}
-	return v, nil
+	return v, 0, nil
 }
 
 // Poll fetches a job's metadata view without its results (limit=0 — an

@@ -28,9 +28,12 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/extract"
@@ -147,6 +150,42 @@ type Runner struct {
 	seq   int64
 	// evicted counts finished jobs displaced to admit new ones.
 	evicted int64
+
+	// meanRunNS is a recency-weighted mean of job run durations, behind the
+	// Retry-After hint on 503 submits.
+	durMu     sync.Mutex
+	meanRunNS float64
+}
+
+// retryAfterAlpha weights the published mean job run time toward recent
+// completions — the same discount the API aggregator applies to latency.
+const retryAfterAlpha = 0.3
+
+// observeRun folds one completed job's run duration into the mean.
+func (r *Runner) observeRun(d time.Duration) {
+	r.durMu.Lock()
+	defer r.durMu.Unlock()
+	ns := float64(d.Nanoseconds())
+	if r.meanRunNS == 0 {
+		r.meanRunNS = ns
+		return
+	}
+	r.meanRunNS += retryAfterAlpha * (ns - r.meanRunNS)
+}
+
+// RetryAfter is the backpressure hint a saturated runner publishes on 503
+// submits: the mean recent job completion time rounded up to whole seconds
+// and floored at one second — come back after roughly one job's worth of
+// work has had a chance to drain.
+func (r *Runner) RetryAfter() time.Duration {
+	r.durMu.Lock()
+	mean := r.meanRunNS
+	r.durMu.Unlock()
+	secs := int64(math.Ceil(mean / float64(time.Second)))
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // NewRunner builds a runner over the served model with a bounded store of
@@ -251,7 +290,7 @@ func (r *Runner) Evicted() int64 {
 	return r.evicted
 }
 
-// work is one pool worker: pull, run, record.
+// work is one pool worker: pull, run, record, time.
 func (r *Runner) work() {
 	for j := range r.queue {
 		j.mu.Lock()
@@ -262,12 +301,14 @@ func (r *Runner) work() {
 			regions []Region
 			err     error
 		)
+		start := time.Now()
 		switch j.op {
 		case OpPredict:
 			probs, err = r.runPredict(j.xs)
 		case OpInterpret:
 			regions, err = r.runInterpret(j.xs)
 		}
+		r.observeRun(time.Since(start))
 		j.finish(probs, regions, err)
 	}
 }
@@ -381,6 +422,10 @@ func (r *Runner) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrBacklogFull) {
 			status = http.StatusServiceUnavailable
+			// Tell the shedding client when to come back: one mean job's
+			// worth of drain time, in the standard header.
+			w.Header().Set("Retry-After",
+				strconv.FormatInt(int64(r.RetryAfter()/time.Second), 10))
 		}
 		ex.Error(w, status, err)
 		return

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the committed benchmark-trajectory sets (PR 3:
 # compute fast path, PR 4: heterogeneous shards, PR 5: batched training
-# epoch, PR 7: wire codecs), merge the results into one JSON file, and gate
+# epoch, PR 7: wire codecs, PR 8: hedged-dispatch tail latency), merge the
+# results into one JSON file, and gate
 # them against the committed snapshots with `benchjson -compare`.
 #
 # Usage (from anywhere inside the repo; CI runs it verbatim):
@@ -41,6 +42,9 @@ go test -run='^$' -bench='BenchmarkTrainEpoch' -benchtime=10x ./internal/nn/ >"$
 echo "== PR 7 set: wire codec round trips (/batch payloads, JSON vs binary)"
 go test -run='^$' -bench='BenchmarkWireBatch' -benchtime=200x ./internal/wire/ >"$tmp/wire.txt"
 
-cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt |
+echo "== PR 8 set: hedged dispatch tail latency (spiky remote, p99 metric)"
+go test -run='^$' -bench='BenchmarkShard_Tail_(Unhedged|Hedged)' -benchtime=20x ./internal/api/ >"$tmp/hedge.txt"
+
+cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt "$tmp"/hedge.txt |
 	go run ./cmd/benchjson -out "$out" \
-		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json -tol "$tol"
+		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json,BENCH_pr8.json -tol "$tol"
