@@ -11,11 +11,12 @@ import (
 // Kernelpurity guards the documented shape of the GEMM kernels in
 // internal/mat: the pure-Go fallback of every assembly-backed inner product
 // must accumulate in ascending k with one rounding chain per output
-// element, because that is the order the AVX2 microkernel commits to and
-// the whole scalar/AVX2 bit-identity argument rests on the two paths
-// performing the same additions in the same sequence.
+// element, because that is the order every microkernel in the tier ladder
+// (NEON, AVX2, AVX-512) commits to and the whole cross-tier bit-identity
+// argument rests on all paths performing the same additions in the same
+// sequence.
 //
-// Two shapes are flagged in the gemm*.go files:
+// Four shapes are flagged in the gemm*.go files:
 //
 //  1. Descending accumulation: a for loop stepping its variable downward
 //     while compound-assigning into a float. Reversing the k loop reorders
@@ -27,6 +28,13 @@ import (
 //     (Distinct accumulators for distinct output elements, as in the 4x4
 //     microkernel's s00..s31, are fine: they are never added to each
 //     other.)
+//  3. math.FMA anywhere in kernel code: a fused multiply-add rounds once
+//     where the kernel contract requires two roundings per step (multiply,
+//     then add) — the same reason the assembly tiers avoid VFMADD/VFMLA.
+//  4. Float reductions inside epilogue hooks (functions named after or
+//     methods on Epilogue): the fused epilogue is per-element
+//     post-accumulation work only; a running scalar sum there re-enters the
+//     reduction the GEMM has already committed.
 var Kernelpurity = &Analyzer{
 	Name: "kernelpurity",
 	Doc: "GEMM fallback kernels must keep the ascending-k single-accumulator " +
@@ -58,9 +66,16 @@ func runKernelpurity(pass *Pass) error {
 }
 
 func checkKernelFunc(pass *Pass, fd *ast.FuncDecl) {
+	epilogue := epilogueHook(pass, fd)
 	// Accumulators: identifiers that receive a float += inside any loop.
+	// Nested loops revisit inner assignments, so epilogue reports dedupe by
+	// position.
 	accumulators := make(map[types.Object]bool)
+	reported := make(map[token.Pos]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMathFMA(pass, call) {
+			pass.Reportf(call.Pos(), "math.FMA rounds once; kernel code must keep the separate multiply and add roundings every tier performs per step")
+		}
 		loopBody := loopBodyOf(n)
 		if loopBody == nil {
 			return true
@@ -80,6 +95,10 @@ func checkKernelFunc(pass *Pass, fd *ast.FuncDecl) {
 				}
 				if tv, ok := pass.TypesInfo.Types[lhs]; ok && isFloat(tv.Type) {
 					if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+						if epilogue && !reported[as.Pos()] {
+							reported[as.Pos()] = true
+							pass.Reportf(as.Pos(), "epilogue hooks are per-element post-accumulation only; a running float reduction here re-enters the summation the GEMM already committed")
+						}
 						accumulators[obj] = true
 					}
 				}
@@ -105,6 +124,40 @@ func checkKernelFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// isMathFMA reports whether the call is math.FMA.
+func isMathFMA(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math" && obj.Name() == "FMA"
+}
+
+// epilogueHook reports whether fd is fused-epilogue code: a function whose
+// name references Epilogue (applyEpilogueRows, MulBTIntoEpilogue — which
+// only delegates its reduction to gemmBT) or a method on the Epilogue type.
+// gemmBT itself merely takes an *Epilogue parameter and is not a hook — its
+// accumulator chains are the reduction.
+func epilogueHook(pass *Pass, fd *ast.FuncDecl) bool {
+	if strings.Contains(fd.Name.Name, "Epilogue") {
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Epilogue"
 }
 
 // loopBodyOf returns the body of a for or range statement, or nil.

@@ -124,6 +124,47 @@ func BenchmarkMulBT_256x784x256(b *testing.B) {
 	}
 }
 
+// Fused epilogues + kernel tiers (PR 9): the batched layer forward's GEMM
+// with bias add, activity-mask capture and activation fused into the row
+// blocks, running at the machine's best tier.
+
+func benchEpilogueSetup(b *testing.B) (x, w, dst *Dense, epi *Epilogue) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	x = randDense(rng, 256, 784)
+	w = randDense(rng, 256, 784)
+	dst = NewDense(256, 256)
+	bias := make(Vec, 256)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	epi = &Epilogue{Bias: bias, Act: ActLeakyReLU, Leak: 0.01, Mask: make([]bool, 256*256)}
+	return x, w, dst, epi
+}
+
+func BenchmarkMulEpilogue_256x784x256(b *testing.B) {
+	x, w, dst, epi := benchEpilogueSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MulBTIntoEpilogue(w, dst, epi)
+	}
+}
+
+// The serial variant makes the fused path's steady-state allocation count
+// visible (0 allocs/op into pooled scratch); the parallel variant's only
+// allocations are its per-call worker goroutines.
+func BenchmarkMulEpilogueSerial_256x784x256(b *testing.B) {
+	x, w, dst, epi := benchEpilogueSetup(b)
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	x.MulBTIntoEpilogue(w, dst, epi) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MulBTIntoEpilogue(w, dst, epi)
+	}
+}
+
 // BenchmarkMulNaive_256x784x256 is the pre-PR-3 triple loop, kept as the
 // baseline the blocked kernel is measured against.
 func BenchmarkMulNaive_256x784x256(b *testing.B) {

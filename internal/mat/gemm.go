@@ -6,19 +6,44 @@ import (
 	"sync"
 )
 
-// This file holds the blocked GEMM kernels behind Mul, MulInto, MulBT and
-// MulBTInto. The naive triple loop evaluates every output element as one
-// serial dot product, so throughput is bound by the floating-point add
-// latency of the single accumulator chain. The kernels below tile the output
-// into 4x2 register blocks: eight accumulators advance through the shared
-// k dimension together, hiding the add latency behind independent chains and
-// loading every A and B row once per tile instead of once per element.
+// This file holds the blocked GEMM kernels behind Mul, MulInto, MulBT,
+// MulBTInto(Epilogue), MulAT and MulVecInto. The naive triple loop evaluates
+// every output element as one serial dot product, so throughput is bound by
+// the floating-point add latency of the single accumulator chain. The
+// kernels below tile the output into register blocks: many accumulators
+// advance through the shared k dimension together, hiding the add latency
+// behind independent chains and loading every A and B row once per tile
+// instead of once per element.
 //
 // Crucially, each output element still owns exactly one accumulator that
 // sums its products in ascending-k order — the same order MulVec and the
 // naive loop use — so the blocked results are bit-identical to the scalar
 // path. The blocking changes which elements make progress concurrently,
 // never the order of operations within one element.
+//
+// Kernel tiers (see gemm_tier.go; DESIGN.md §14 has the full table): the
+// dispatch ladder is selected by ActiveKernelTier, highest supported tier
+// first, with lower tiers handling the remainders.
+//
+//	TierAVX512  amd64  dotPack8x4: 8 packed A rows × 4 B rows per call,
+//	                   one ZMM lane per A row (gemm_amd64.s)
+//	TierAVX2    amd64  dotPack4x4: 4 packed A rows × 4 B rows per call,
+//	                   one YMM lane per A row (gemm_amd64.s)
+//	TierNEON    arm64  dotPack4x4: 4 packed A rows × 4 B rows per call,
+//	                   two 2-lane vectors per A-row quad (gemm_arm64.s)
+//	TierScalar  all    pure-Go 4x2 register tiles plus a 1-row×4-col tail
+//
+// Every assembly kernel is mul-then-add on purpose — no FMA, which rounds
+// once where the scalar path rounds twice — and the pure-Go fallbacks keep
+// the same shape (enforced by the kernelpurity analyzer, DESIGN.md §11).
+//
+// Dispatch coverage notes: MulBTInto, MulInto, MulATInto and MulVecInto all
+// route through gemmBT and therefore through the packed microkernels.
+// MulInto packs B transposed; MulATInto packs both operands transposed (so
+// batched gradient GEMMs run on the same packed kernels as forwards);
+// MulVecInto runs as a 1-row tile whose 4-wide column tail carries four
+// independent accumulator chains. Only MulVec/MulVecT, the allocating
+// convenience forms, stay on plain scalar loops.
 
 // gemmWorkers caps the goroutines a single large multiply may fan out to.
 // It defaults to GOMAXPROCS; SetWorkers(1) forces serial execution. Every
@@ -54,8 +79,8 @@ func workers() int {
 // spawning goroutines costs more than it buys.
 const parallelFlopCutoff = 1 << 18
 
-// scratch pools the transposed-B buffers MulInto needs, so composition
-// chains that multiply in a loop stop hammering the allocator.
+// scratch pools the packed-row buffers gemmBT needs, so composition chains
+// that multiply in a loop stop hammering the allocator.
 var scratchPool = sync.Pool{New: func() any { s := make([]float64, 0); return &s }}
 
 func getScratch(n int) *[]float64 {
@@ -90,8 +115,11 @@ func getScratchDense(r, c int) *Dense {
 func putScratchDense(d *Dense) { denseScratchPool.Put(d) }
 
 // MulVecInto computes dst = m * x without allocating; dst must have length
-// m.Rows() and must not alias x. It returns dst. Results are bit-identical
-// to MulVec.
+// m.Rows() and must not alias x or m. It returns dst. Results are
+// bit-identical to MulVec. The product runs as a 1-row tile through the
+// shared gemmBT kernel — dst viewed 1×rows equals x viewed 1×k times mᵀ —
+// so single-instance predictions get the same 4-chain column tail the
+// batched path uses instead of one serial dot product per output.
 func (m *Dense) MulVecInto(x, dst Vec) Vec {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("mat: MulVecInto length %d != cols %d", len(x), m.cols))
@@ -99,14 +127,9 @@ func (m *Dense) MulVecInto(x, dst Vec) Vec {
 	if len(dst) != m.rows {
 		panic(fmt.Sprintf("mat: MulVecInto dst length %d != rows %d", len(dst), m.rows))
 	}
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, a := range row {
-			s += a * x[j]
-		}
-		dst[i] = s
-	}
+	a := Dense{rows: 1, cols: m.cols, data: x}
+	d := Dense{rows: 1, cols: m.rows, data: dst}
+	gemmBT(&d, &a, m, 0, 1, nil)
 	return dst
 }
 
@@ -120,22 +143,10 @@ func (m *Dense) MulBT(b *Dense) *Dense {
 }
 
 // MulBTInto computes dst = m * bᵀ into dst, which must be m.Rows() by
-// b.Rows() and must not alias m or b. It returns dst.
+// b.Rows() and must not alias m or b. It returns dst. It is
+// MulBTIntoEpilogue with no epilogue.
 func (m *Dense) MulBTInto(b, dst *Dense) *Dense {
-	if m.cols != b.cols {
-		panic(fmt.Sprintf("mat: MulBT %dx%d by (%dx%d)ᵀ", m.rows, m.cols, b.rows, b.cols))
-	}
-	if dst.rows != m.rows || dst.cols != b.rows {
-		panic(fmt.Sprintf("mat: MulBTInto dst %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, b.rows))
-	}
-	checkNoAlias("MulBTInto", dst, m, b)
-	flops := m.rows * m.cols * b.rows
-	if w := workers(); w > 1 && flops >= parallelFlopCutoff && m.rows > 1 {
-		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, b, lo, hi) })
-	} else {
-		gemmBT(dst, m, b, 0, m.rows)
-	}
-	return dst
+	return m.MulBTIntoEpilogue(b, dst, nil)
 }
 
 // MulInto computes dst = m * b into dst, which must be m.Rows() by b.Cols()
@@ -158,9 +169,9 @@ func (m *Dense) MulInto(b, dst *Dense) *Dense {
 	}
 	flops := m.rows * m.cols * b.cols
 	if w := workers(); w > 1 && flops >= parallelFlopCutoff && m.rows > 1 {
-		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, bt, lo, hi) })
+		parallelRows(m.rows, w, func(lo, hi int) { gemmBT(dst, m, bt, lo, hi, nil) })
 	} else {
-		gemmBT(dst, m, bt, 0, m.rows)
+		gemmBT(dst, m, bt, 0, m.rows, nil)
 	}
 	putScratchDense(bt)
 	return dst
@@ -178,9 +189,11 @@ func (m *Dense) MulAT(b *Dense) *Dense {
 
 // MulATInto computes dst = mᵀ * b into dst, which must be m.Cols() by
 // b.Cols() and must not alias m or b. Both operands are packed transposed
-// into pooled scratch so the blocked kernel runs on contiguous rows. Every
-// output element is one ascending-k mul-then-add chain over the shared row
-// dimension — the same order a per-sample accumulation loop over rows
+// into pooled scratch so the blocked kernel — including the packed
+// microkernel of the active tier — runs on contiguous rows; the transpose
+// packing is what routes this call onto the same vector path as MulBTInto.
+// Every output element is one ascending-k mul-then-add chain over the shared
+// row dimension — the same order a per-sample accumulation loop over rows
 // 0,1,2,… uses — so batched gradient sums are bit-identical to sequential
 // per-sample accumulation. It returns dst.
 func (m *Dense) MulATInto(b, dst *Dense) *Dense {
@@ -207,9 +220,9 @@ func (m *Dense) MulATInto(b, dst *Dense) *Dense {
 	}
 	flops := m.cols * m.rows * b.cols
 	if w := workers(); w > 1 && flops >= parallelFlopCutoff && at.rows > 1 {
-		parallelRows(at.rows, w, func(lo, hi int) { gemmBT(dst, at, bt, lo, hi) })
+		parallelRows(at.rows, w, func(lo, hi int) { gemmBT(dst, at, bt, lo, hi, nil) })
 	} else {
-		gemmBT(dst, at, bt, 0, at.rows)
+		gemmBT(dst, at, bt, 0, at.rows, nil)
 	}
 	putScratchDense(bt)
 	putScratchDense(at)
@@ -231,7 +244,8 @@ func checkNoAlias(op string, dst *Dense, operands ...*Dense) {
 
 // parallelRows splits [0, rows) into one contiguous span per worker and runs
 // work on each concurrently. Spans are aligned to the 4-row register tile so
-// every tile stays within one worker.
+// every tile stays within one worker. (An AVX-512 8-row tile split across a
+// span boundary simply reforms as two 4-row tiles — same chains, same bits.)
 func parallelRows(rows, w int, work func(lo, hi int)) {
 	if w > rows {
 		w = rows
@@ -253,16 +267,60 @@ func parallelRows(rows, w int, work func(lo, hi int)) {
 	wg.Wait()
 }
 
-// gemmBT fills dst rows [i0, i1) with a · bᵀ. On AVX2-capable amd64 the
-// 4-row blocks run on the packed vector microkernel (four instances per
-// vector lane, four B-row accumulator chains); elsewhere they run on the
-// pure-Go 4x2 register tiles. Both schedules evaluate every output element
-// as one ascending-k mul-then-add chain, so the bits match everywhere.
-func gemmBT(dst, a, b *Dense, i0, i1 int) {
+// gemmBT fills dst rows [i0, i1) with a · bᵀ and, when epi is non-nil,
+// applies the fused epilogue to each row block as soon as its accumulator
+// chains have committed — while the block is still cache-hot. The dispatch
+// ladder runs highest active tier first (8-row AVX-512 pack, then the 4-row
+// AVX2/NEON pack, then pure-Go 4x2 register tiles, then single rows with a
+// 4-wide column tail); lower rungs pick up the row remainders of higher
+// ones. Every schedule evaluates every output element as one ascending-k
+// mul-then-add chain, so the bits match on all of them.
+func gemmBT(dst, a, b *Dense, i0, i1 int, epi *Epilogue) {
 	k := a.cols
 	n := b.rows
 	i := i0
-	if useAVX2 && k > 0 && n > 0 {
+	tier := ActiveKernelTier()
+	if tier >= TierAVX512 && k > 0 && n > 0 && i+8 <= i1 {
+		sp := getScratch(8 * k)
+		pack := (*sp)[:8*k]
+		var out [32]float64
+		for ; i+8 <= i1; i += 8 {
+			packEightRows(pack, a, i)
+			var d [8][]float64
+			for l := range d {
+				d[l] = dst.data[(i+l)*dst.cols : (i+l)*dst.cols+dst.cols]
+			}
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				dotPack8x4(&pack[0],
+					&b.data[(j+0)*k], &b.data[(j+1)*k], &b.data[(j+2)*k], &b.data[(j+3)*k],
+					k, &out)
+				for l, dl := range d {
+					dl[j], dl[j+1], dl[j+2], dl[j+3] = out[l], out[8+l], out[16+l], out[24+l]
+				}
+			}
+			for ; j < n; j++ {
+				br := b.data[j*k : j*k+k]
+				var s0, s1, s2, s3, s4, s5, s6, s7 float64
+				for t, bv := range br {
+					p := pack[8*t : 8*t+8 : 8*t+8]
+					s0 += p[0] * bv
+					s1 += p[1] * bv
+					s2 += p[2] * bv
+					s3 += p[3] * bv
+					s4 += p[4] * bv
+					s5 += p[5] * bv
+					s6 += p[6] * bv
+					s7 += p[7] * bv
+				}
+				d[0][j], d[1][j], d[2][j], d[3][j] = s0, s1, s2, s3
+				d[4][j], d[5][j], d[6][j], d[7][j] = s4, s5, s6, s7
+			}
+			applyEpilogueRows(dst, epi, i, i+8)
+		}
+		putScratch(sp)
+	}
+	if tier >= TierNEON && k > 0 && n > 0 && i+4 <= i1 {
 		sp := getScratch(4 * k)
 		pack := (*sp)[:4*k]
 		var out [16]float64
@@ -294,6 +352,7 @@ func gemmBT(dst, a, b *Dense, i0, i1 int) {
 				}
 				d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
 			}
+			applyEpilogueRows(dst, epi, i, i+4)
 		}
 		putScratch(sp)
 	}
@@ -346,11 +405,31 @@ func gemmBT(dst, a, b *Dense, i0, i1 int) {
 			}
 			d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
 		}
+		applyEpilogueRows(dst, epi, i, i+4)
 	}
 	for ; i < i1; i++ {
 		ar := a.data[i*k : i*k+k]
 		drow := dst.data[i*dst.cols : i*dst.cols+dst.cols]
-		for j := 0; j < n; j++ {
+		j := 0
+		// The 1-row tile: four B rows at once, four independent accumulator
+		// chains — one per output element — so a single row (MulVecInto, the
+		// row remainder of a batch) still hides the add latency.
+		for ; j+4 <= n; j += 4 {
+			b0 := b.data[(j+0)*k : (j+0)*k+k]
+			b1 := b.data[(j+1)*k : (j+1)*k+k][:len(b0)]
+			b2 := b.data[(j+2)*k : (j+2)*k+k][:len(b0)]
+			b3 := b.data[(j+3)*k : (j+3)*k+k][:len(b0)]
+			x := ar[:len(b0)]
+			var s0, s1, s2, s3 float64
+			for t, av := range x {
+				s0 += av * b0[t]
+				s1 += av * b1[t]
+				s2 += av * b2[t]
+				s3 += av * b3[t]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
 			br := b.data[j*k : j*k+k]
 			x := ar[:len(br)]
 			var s float64
@@ -359,12 +438,13 @@ func gemmBT(dst, a, b *Dense, i0, i1 int) {
 			}
 			drow[j] = s
 		}
+		applyEpilogueRows(dst, epi, i, i+1)
 	}
 }
 
 // packFourRows interleaves rows i..i+3 of a feature-major: pack[4t+l] =
-// a[i+l][t], the layout the vector microkernel consumes with one load per
-// shared k step.
+// a[i+l][t], the layout the 4-row vector microkernel consumes with one load
+// per shared k step.
 func packFourRows(pack []float64, a *Dense, i int) {
 	k := a.cols
 	a0 := a.data[(i+0)*k : (i+0)*k+k]
@@ -377,5 +457,31 @@ func packFourRows(pack []float64, a *Dense, i int) {
 		p[1] = a1[t]
 		p[2] = a2[t]
 		p[3] = a3[t]
+	}
+}
+
+// packEightRows interleaves rows i..i+7 feature-major: pack[8t+l] =
+// a[i+l][t], one 64-byte ZMM load per shared k step for the AVX-512
+// microkernel.
+func packEightRows(pack []float64, a *Dense, i int) {
+	k := a.cols
+	a0 := a.data[(i+0)*k : (i+0)*k+k]
+	a1 := a.data[(i+1)*k : (i+1)*k+k][:k]
+	a2 := a.data[(i+2)*k : (i+2)*k+k][:k]
+	a3 := a.data[(i+3)*k : (i+3)*k+k][:k]
+	a4 := a.data[(i+4)*k : (i+4)*k+k][:k]
+	a5 := a.data[(i+5)*k : (i+5)*k+k][:k]
+	a6 := a.data[(i+6)*k : (i+6)*k+k][:k]
+	a7 := a.data[(i+7)*k : (i+7)*k+k][:k]
+	for t, v := range a0 {
+		p := pack[8*t : 8*t+8 : 8*t+8]
+		p[0] = v
+		p[1] = a1[t]
+		p[2] = a2[t]
+		p[3] = a3[t]
+		p[4] = a4[t]
+		p[5] = a5[t]
+		p[6] = a6[t]
+		p[7] = a7[t]
 	}
 }

@@ -28,6 +28,34 @@ no:
 	MOVB $0, ret+0(FP)
 	RET
 
+// func cpuHasAVX512() bool
+//
+// Leaf 1 ECX: OSXSAVE (bit 27); XGETBV xcr0 must have x87+SSE+AVX (0x6)
+// plus opmask+ZMM_Hi256+Hi16_ZMM (0xe0) OS-enabled; leaf 7 EBX bit 16 is
+// AVX512F, the only extension the 8-lane microkernel uses (VMOVUPD,
+// VBROADCASTSD, VMULPD, VADDPD, VPXORQ on ZMM).
+TEXT ·cpuHasAVX512(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ   no512
+	XORL CX, CX
+	XGETBV
+	ANDL $0xe6, AX
+	CMPL AX, $0xe6
+	JNE  no512
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<16), BX // AVX512F
+	JZ   no512
+	MOVB $1, ret+0(FP)
+	RET
+no512:
+	MOVB $0, ret+0(FP)
+	RET
+
 // func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64)
 //
 // Four simultaneous 4-lane dot products: pack interleaves four A rows
@@ -76,5 +104,58 @@ done:
 	VMOVUPD Y1, 32(DI)
 	VMOVUPD Y2, 64(DI)
 	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func dotPack8x4(pack, b0, b1, b2, b3 *float64, k int, out *[32]float64)
+//
+// The AVX-512 widening of dotPack4x4: pack interleaves eight A rows
+// (pack[8t+l] = A[i+l][t]), each Z accumulator carries one B row's running
+// sums for all eight A rows. Every lane performs mul-then-add in
+// ascending-t order — the same two roundings, in the same order, as the
+// scalar path — so results are bit-identical to naive dot products. No FMA
+// on purpose: fused multiply-add rounds once and would diverge from the
+// scalar kernel. Accumulators are zeroed with VPXORQ (AVX512F) because
+// VXORPD on ZMM needs AVX512DQ, which cpuHasAVX512 does not require.
+TEXT ·dotPack8x4(SB), NOSPLIT, $0-56
+	MOVQ pack+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ k+40(FP), CX
+	MOVQ out+48(FP), DI
+	VPXORQ Z0, Z0, Z0 // acc for b0
+	VPXORQ Z1, Z1, Z1 // acc for b1
+	VPXORQ Z2, Z2, Z2 // acc for b2
+	VPXORQ Z3, Z3, Z3 // acc for b3
+	XORQ AX, AX       // t
+loop8:
+	CMPQ AX, CX
+	JGE  done8
+	MOVQ AX, DX
+	SHLQ $6, DX                 // 64*t: pack stride is 8 float64
+	VMOVUPD (SI)(DX*1), Z4      // [A[i][t] .. A[i+7][t]]
+	MOVQ AX, BX
+	SHLQ $3, BX                 // 8*t
+	VBROADCASTSD (R8)(BX*1), Z5
+	VMULPD Z4, Z5, Z5
+	VADDPD Z5, Z0, Z0
+	VBROADCASTSD (R9)(BX*1), Z5
+	VMULPD Z4, Z5, Z5
+	VADDPD Z5, Z1, Z1
+	VBROADCASTSD (R10)(BX*1), Z5
+	VMULPD Z4, Z5, Z5
+	VADDPD Z5, Z2, Z2
+	VBROADCASTSD (R11)(BX*1), Z5
+	VMULPD Z4, Z5, Z5
+	VADDPD Z5, Z3, Z3
+	INCQ AX
+	JMP  loop8
+done8:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
 	VZEROUPPER
 	RET

@@ -1,0 +1,69 @@
+#include "textflag.h"
+
+// func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64)
+//
+// NEON port of the packed microkernel: pack interleaves four A rows
+// (pack[4t+l] = A[i+l][t]); float64 NEON vectors are 2-lane, so each quad
+// of packed values is the register pair {V8, V9} and each B row j owns the
+// accumulator pair {V(2j), V(2j+1)} — V0..V7 carry the full 4x4 tile.
+// Per k step: one 32-byte pack load, then per B row a replicating load of
+// bj[t] and an UNFUSED multiply + add per lane pair. Every lane performs
+// mul-then-add in ascending-t order — the same two roundings, in the same
+// order, as the scalar path — so results are bit-identical to naive dot
+// products.
+//
+// The Go assembler has no mnemonics for the unfused NEON FMUL/FADD vector
+// forms (only VFMLA, which contracts to one rounding and would break the
+// scalar/vector bit-identity contract), so those two instructions are
+// WORD-encoded:
+//
+//	FMUL Vd.2D, Vn.2D, Vm.2D = 0x6E60DC00 | Rm<<16 | Rn<<5 | Rd
+//	FADD Vd.2D, Vn.2D, Vm.2D = 0x4E60D400 | Rm<<16 | Rn<<5 | Rd
+//
+// Each WORD comment below is the decoded instruction (verified against
+// `go tool objdump`, which disassembles them back to FMUL/FADD .D2).
+TEXT ·dotPack4x4(SB), NOSPLIT, $0-56
+	MOVD pack+0(FP), R0
+	MOVD b0+8(FP), R1
+	MOVD b1+16(FP), R2
+	MOVD b2+24(FP), R3
+	MOVD b3+32(FP), R4
+	MOVD k+40(FP), R5
+	MOVD out+48(FP), R6
+	VEOR V0.B16, V0.B16, V0.B16 // acc b0, lanes 0-1
+	VEOR V1.B16, V1.B16, V1.B16 // acc b0, lanes 2-3
+	VEOR V2.B16, V2.B16, V2.B16 // acc b1, lanes 0-1
+	VEOR V3.B16, V3.B16, V3.B16 // acc b1, lanes 2-3
+	VEOR V4.B16, V4.B16, V4.B16 // acc b2, lanes 0-1
+	VEOR V5.B16, V5.B16, V5.B16 // acc b2, lanes 2-3
+	VEOR V6.B16, V6.B16, V6.B16 // acc b3, lanes 0-1
+	VEOR V7.B16, V7.B16, V7.B16 // acc b3, lanes 2-3
+	CBZ  R5, done
+loop:
+	VLD1.P  32(R0), [V8.D2, V9.D2] // [A[i][t] A[i+1][t]], [A[i+2][t] A[i+3][t]]
+	VLD1R.P 8(R1), [V10.D2]        // broadcast b0[t]
+	WORD $0x6E6ADD0B               // FMUL V11.2D, V8.2D, V10.2D
+	WORD $0x4E6BD400               // FADD V0.2D, V0.2D, V11.2D
+	WORD $0x6E6ADD2C               // FMUL V12.2D, V9.2D, V10.2D
+	WORD $0x4E6CD421               // FADD V1.2D, V1.2D, V12.2D
+	VLD1R.P 8(R2), [V10.D2]        // broadcast b1[t]
+	WORD $0x6E6ADD0B               // FMUL V11.2D, V8.2D, V10.2D
+	WORD $0x4E6BD442               // FADD V2.2D, V2.2D, V11.2D
+	WORD $0x6E6ADD2C               // FMUL V12.2D, V9.2D, V10.2D
+	WORD $0x4E6CD463               // FADD V3.2D, V3.2D, V12.2D
+	VLD1R.P 8(R3), [V10.D2]        // broadcast b2[t]
+	WORD $0x6E6ADD0B               // FMUL V11.2D, V8.2D, V10.2D
+	WORD $0x4E6BD484               // FADD V4.2D, V4.2D, V11.2D
+	WORD $0x6E6ADD2C               // FMUL V12.2D, V9.2D, V10.2D
+	WORD $0x4E6CD4A5               // FADD V5.2D, V5.2D, V12.2D
+	VLD1R.P 8(R4), [V10.D2]        // broadcast b3[t]
+	WORD $0x6E6ADD0B               // FMUL V11.2D, V8.2D, V10.2D
+	WORD $0x4E6BD4C6               // FADD V6.2D, V6.2D, V11.2D
+	WORD $0x6E6ADD2C               // FMUL V12.2D, V9.2D, V10.2D
+	WORD $0x4E6CD4E7               // FADD V7.2D, V7.2D, V12.2D
+	SUBS $1, R5, R5
+	BNE  loop
+done:
+	VST1.P [V0.D2, V1.D2, V2.D2, V3.D2], 64(R6) // out[0..15]: j=0,1 tiles
+	VST1   [V4.D2, V5.D2, V6.D2, V7.D2], (R6)   // out[16..31]: j=2,3 tiles
+	RET

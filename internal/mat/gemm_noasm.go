@@ -1,11 +1,19 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package mat
 
-// useAVX2 is always false without the amd64 microkernel; gemmBT falls back
-// to the pure-Go register-tiled path, which computes identical bits.
-const useAVX2 = false
+// No packed microkernel on this architecture; gemmBT falls back to the
+// pure-Go register-tiled path, which computes identical bits.
+const (
+	haveNEON   = false
+	haveAVX2   = false
+	haveAVX512 = false
+)
 
 func dotPack4x4(pack, b0, b1, b2, b3 *float64, k int, out *[16]float64) {
 	panic("mat: dotPack4x4 without asm support")
+}
+
+func dotPack8x4(pack, b0, b1, b2, b3 *float64, k int, out *[32]float64) {
+	panic("mat: dotPack8x4 without asm support")
 }

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mat"
 )
@@ -14,6 +15,39 @@ import (
 // to per-instance Logits/Predict — the batching buys independent
 // floating-point chains and O(layers) allocations per batch, not different
 // arithmetic.
+
+// fusedForward gates the fused GEMM-epilogue forward paths: when on (the
+// default), bias add, activation-mask capture and activation run inside the
+// GEMM's row blocks via mat.MulBTIntoEpilogue while the output tile is still
+// cache-hot; when off, the original reference path (MulBTInto, then
+// addBiasRows, then a separate activation sweep) runs instead. Both orders
+// apply bias then activation per element only after that element's
+// accumulator chain has finished, so the two paths are bit-identical —
+// pinned by the fused parity tests, which flip this toggle.
+var fusedForward atomic.Bool
+
+func init() { fusedForward.Store(true) }
+
+// SetFusedForward enables or disables the fused forward/training paths and
+// returns the previous setting. The unfused path is kept reachable as the
+// bit-parity reference; production callers never need to touch this.
+func SetFusedForward(on bool) bool { return fusedForward.Swap(on) }
+
+// FusedForward reports whether the fused GEMM-epilogue paths are enabled.
+func FusedForward() bool { return fusedForward.Load() }
+
+// hiddenEpilogue fills e with the fused hidden-layer epilogue for bias b:
+// bias add, optional (z > 0) mask capture into mask, then the network's
+// activation — plain ReLU when leak is zero, leaky otherwise. Both kinds
+// compute leak·z on the non-positive side (leak = 0 reproduces the -0.0
+// bits of the reference's 0·z), so fused outputs match the unfused sweep
+// bit-for-bit.
+func (n *Network) hiddenEpilogue(e *mat.Epilogue, b mat.Vec, mask []bool) {
+	*e = mat.Epilogue{Bias: b, Mask: mask, Act: mat.ActLeakyReLU, Leak: n.leak}
+	if n.leak == 0 {
+		e.Act = mat.ActReLU
+	}
+}
 
 // stackBatch copies xs into a len(xs)-by-dim matrix, validating every row.
 func stackBatch(xs []mat.Vec, dim int, what string) *mat.Dense {
@@ -40,34 +74,63 @@ func addBiasRows(z *mat.Dense, b mat.Vec) {
 // linear region). The returned matrix holds one row of logits per instance.
 func (n *Network) forwardBatch(xs []mat.Vec, wantMasks bool) (*mat.Dense, [][]bool) {
 	B := len(xs)
+	fused := fusedForward.Load()
 	var masks [][]bool
+	var maskBuf []bool
 	if wantMasks {
-		hidden := 0
+		hidden, widest := 0, 0
 		for _, h := range n.HiddenSizes() {
 			hidden += h
+			if h > widest {
+				widest = h
+			}
 		}
 		masks = make([][]bool, B)
 		for i := range masks {
 			masks[i] = make([]bool, 0, hidden)
 		}
+		if fused {
+			maskBuf = make([]bool, B*widest)
+		}
 	}
 	cur := stackBatch(xs, n.InputDim(), "forward")
+	last := len(n.layers) - 1
 	for li, l := range n.layers {
 		z := mat.NewDense(B, l.Out())
-		cur.MulBTInto(l.W, z)
-		addBiasRows(z, l.B)
-		if li < len(n.layers)-1 {
-			leak := n.leak
-			for i := 0; i < B; i++ {
-				row := z.RawRow(i)
+		if fused {
+			var epi mat.Epilogue
+			if li < last {
+				var mbuf []bool
 				if wantMasks {
-					for _, v := range row {
-						masks[i] = append(masks[i], v > 0)
-					}
+					mbuf = maskBuf[:B*l.Out()]
 				}
-				for j, v := range row {
-					if v <= 0 {
-						row[j] = leak * v
+				n.hiddenEpilogue(&epi, l.B, mbuf)
+			} else {
+				epi = mat.Epilogue{Bias: l.B}
+			}
+			cur.MulBTIntoEpilogue(l.W, z, &epi)
+			if wantMasks && li < last {
+				w := l.Out()
+				for i := 0; i < B; i++ {
+					masks[i] = append(masks[i], epi.Mask[i*w:i*w+w]...)
+				}
+			}
+		} else {
+			cur.MulBTInto(l.W, z)
+			addBiasRows(z, l.B)
+			if li < last {
+				leak := n.leak
+				for i := 0; i < B; i++ {
+					row := z.RawRow(i)
+					if wantMasks {
+						for _, v := range row {
+							masks[i] = append(masks[i], v > 0)
+						}
+					}
+					for j, v := range row {
+						if v <= 0 {
+							row[j] = leak * v
+						}
 					}
 				}
 			}
@@ -168,13 +231,21 @@ func (n *MaxoutNetwork) forwardBatchMaxout(xs []mat.Vec, wantWinners bool) (*mat
 		}
 	}
 	cur := stackBatch(xs, n.InputDim(), "maxout forward")
+	fused := fusedForward.Load()
 	for _, l := range n.hidden {
-		// One GEMM per piece over the whole batch.
+		// One GEMM per piece over the whole batch; in fused mode the bias
+		// rides inside the GEMM's epilogue (identity activation — the max
+		// fold below is the nonlinearity).
 		outs := make([]*mat.Dense, l.K())
 		for p, piece := range l.Pieces {
 			zp := mat.NewDense(B, l.Out())
-			cur.MulBTInto(piece.W, zp)
-			addBiasRows(zp, piece.B)
+			if fused {
+				epi := mat.Epilogue{Bias: piece.B}
+				cur.MulBTIntoEpilogue(piece.W, zp, &epi)
+			} else {
+				cur.MulBTInto(piece.W, zp)
+				addBiasRows(zp, piece.B)
+			}
 			outs[p] = zp
 		}
 		h := mat.NewDense(B, l.Out())
@@ -209,7 +280,12 @@ func (n *MaxoutNetwork) forwardBatchMaxout(xs []mat.Vec, wantWinners bool) (*mat
 		cur = h
 	}
 	z := mat.NewDense(B, n.out.Out())
-	cur.MulBTInto(n.out.W, z)
-	addBiasRows(z, n.out.B)
+	if fused {
+		epi := mat.Epilogue{Bias: n.out.B}
+		cur.MulBTIntoEpilogue(n.out.W, z, &epi)
+	} else {
+		cur.MulBTInto(n.out.W, z)
+		addBiasRows(z, n.out.B)
+	}
 	return z, winners
 }

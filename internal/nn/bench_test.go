@@ -121,6 +121,35 @@ func BenchmarkTrainEpochMaxout_PerSample(b *testing.B) { benchMaxoutTrainEpoch(b
 
 func BenchmarkTrainEpochMaxout_Batched(b *testing.B) { benchMaxoutTrainEpoch(b, false) }
 
+// The PR-9 headline pair: the fused GEMM-epilogue forward at the machine's
+// best kernel tier versus the exact configuration PR 3 shipped — unfused
+// bias/activation sweeps on the AVX2 tier (or the platform's previous best
+// where AVX2 does not exist). Outputs are bit-identical; the pair measures
+// the compute speed-floor raise from fusion plus the new tier.
+
+func BenchmarkForwardFused256(b *testing.B) {
+	n, xs := benchNetAndBatch(b)
+	prev := SetFusedForward(true)
+	defer SetFusedForward(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.LogitsBatch(xs)
+	}
+}
+
+func BenchmarkForwardUnfusedPR3_256(b *testing.B) {
+	n, xs := benchNetAndBatch(b)
+	prev := SetFusedForward(false)
+	defer SetFusedForward(prev)
+	if prevTier, err := mat.SetKernelTier(mat.TierAVX2); err == nil {
+		defer mat.SetKernelTier(prevTier)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.LogitsBatch(xs)
+	}
+}
+
 func BenchmarkMaxoutLogitsBatch64(b *testing.B) {
 	rng := rand.New(rand.NewSource(43))
 	n := NewMaxout(rng, 3, 128, 64, 32, 10)

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// The fused GEMM-epilogue paths must be invisible: flipping SetFusedForward
+// must never change a single output bit, on any kernel tier the machine can
+// run. This battery compares fused against unfused directly — forward
+// logits, activation patterns, MaxOut winners, and fully trained weights —
+// across plain-ReLU and leaky networks, batch sizes hitting every row-block
+// remainder (mod 8 and mod 4), and every available tier.
+
+// forEachKernelTier pins each mat kernel tier the CPU supports in turn and
+// restores the previous tier when done.
+func forEachKernelTier(t *testing.T, fn func(t *testing.T, tier mat.KernelTier)) {
+	t.Helper()
+	prev := mat.ActiveKernelTier()
+	defer mat.SetKernelTier(prev)
+	for _, tier := range mat.AvailableTiers() {
+		if _, err := mat.SetKernelTier(tier); err != nil {
+			t.Fatalf("SetKernelTier(%s): %v", tier, err)
+		}
+		t.Run(tier.String(), func(t *testing.T) { fn(t, tier) })
+	}
+}
+
+// withFused runs fn with the fused toggle forced to on, restoring the prior
+// setting afterwards.
+func withFused(on bool, fn func()) {
+	prev := SetFusedForward(on)
+	defer SetFusedForward(prev)
+	fn()
+}
+
+// batchOf builds b random inputs of dimension d.
+func batchOf(rng *rand.Rand, b, d int) []mat.Vec {
+	xs := make([]mat.Vec, b)
+	for i := range xs {
+		xs[i] = randInput(rng, d)
+	}
+	return xs
+}
+
+func TestForwardBatchFusedMatchesUnfusedAllTiers(t *testing.T) {
+	forEachKernelTier(t, func(t *testing.T, tier mat.KernelTier) {
+		rng := rand.New(rand.NewSource(301))
+		for _, leak := range []float64{0, 0.1} {
+			n := New(rand.New(rand.NewSource(302)), 7, 9, 6, 3).SetLeak(leak)
+			// Batch sizes covering the 8-row, 4-row and scalar-row remainder
+			// combinations of every tier.
+			for _, b := range []int{1, 3, 4, 5, 8, 9, 12, 17} {
+				xs := batchOf(rng, b, 7)
+				var fusedZ, refZ []mat.Vec
+				var fusedM, refM [][]bool
+				withFused(true, func() {
+					fusedZ = n.LogitsBatch(xs)
+					fusedM = n.ActivationPatternBatch(xs)
+				})
+				withFused(false, func() {
+					refZ = n.LogitsBatch(xs)
+					refM = n.ActivationPatternBatch(xs)
+				})
+				for i := range xs {
+					bitEqualVec(t, "logits", fusedZ[i], refZ[i])
+					if len(fusedM[i]) != len(refM[i]) {
+						t.Fatalf("pattern length %d != %d", len(fusedM[i]), len(refM[i]))
+					}
+					for j := range refM[i] {
+						if fusedM[i][j] != refM[i][j] {
+							t.Fatalf("leak=%v b=%d: pattern[%d][%d] fused=%v unfused=%v",
+								leak, b, i, j, fusedM[i][j], refM[i][j])
+						}
+					}
+					// Both must also match the per-instance scalar reference.
+					bitEqualVec(t, "scalar logits", fusedZ[i], n.Logits(xs[i]))
+				}
+			}
+		}
+	})
+}
+
+func TestMaxoutForwardBatchFusedMatchesUnfusedAllTiers(t *testing.T) {
+	forEachKernelTier(t, func(t *testing.T, tier mat.KernelTier) {
+		rng := rand.New(rand.NewSource(311))
+		n := NewMaxout(rand.New(rand.NewSource(312)), 3, 5, 9, 6, 3)
+		for _, b := range []int{1, 5, 8, 13} {
+			xs := batchOf(rng, b, 5)
+			var fusedZ, refZ []mat.Vec
+			var fusedW, refW [][]int
+			withFused(true, func() {
+				fusedZ = n.LogitsBatch(xs)
+				fusedW = n.WinnerPatternBatch(xs)
+			})
+			withFused(false, func() {
+				refZ = n.LogitsBatch(xs)
+				refW = n.WinnerPatternBatch(xs)
+			})
+			for i := range xs {
+				bitEqualVec(t, "maxout logits", fusedZ[i], refZ[i])
+				for j := range refW[i] {
+					if fusedW[i][j] != refW[i][j] {
+						t.Fatalf("b=%d: winners[%d][%d] fused=%d unfused=%d",
+							b, i, j, fusedW[i][j], refW[i][j])
+					}
+				}
+				bitEqualVec(t, "maxout scalar logits", fusedZ[i], n.Logits(xs[i]))
+			}
+		}
+	})
+}
+
+// TestTrainFusedMatchesUnfusedAllTiers trains the same network twice — fused
+// and unfused — and demands bit-identical losses and weights: forward
+// activations, captured masks (vs the reference's pre-activation test), and
+// backward delta scaling must all agree exactly, on every tier.
+func TestTrainFusedMatchesUnfusedAllTiers(t *testing.T) {
+	xs, ys := parityData(320)
+	cfg := TrainConfig{Epochs: 3, BatchSize: 16, LearningRate: 0.1, Momentum: 0.5}
+	forEachKernelTier(t, func(t *testing.T, tier mat.KernelTier) {
+		for _, leak := range []float64{0, 0.1} {
+			build := func() (*Network, *rand.Rand) {
+				rng := rand.New(rand.NewSource(321))
+				return New(rng, 2, 9, 7, 2).SetLeak(leak), rng
+			}
+			var fusedLoss, refLoss float64
+			fusedNet, fusedRNG := build()
+			refNet, refRNG := build()
+			withFused(true, func() {
+				var err error
+				if fusedLoss, err = fusedNet.Train(fusedRNG, xs, ys, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			withFused(false, func() {
+				var err error
+				if refLoss, err = refNet.Train(refRNG, xs, ys, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if fusedLoss != refLoss {
+				t.Fatalf("leak=%v: loss %g (fused) != %g (unfused)", leak, fusedLoss, refLoss)
+			}
+			for i := 0; i < refNet.NumLayers(); i++ {
+				fl, rl := fusedNet.LayerShared(i), refNet.LayerShared(i)
+				bitEqualDense(t, "W", fl.W, rl.W)
+				bitEqualVec(t, "B", fl.B, rl.B)
+			}
+		}
+	})
+}
+
+func TestTrainMaxoutFusedMatchesUnfusedAllTiers(t *testing.T) {
+	xs, ys := parityData(330)
+	cfg := TrainConfig{Epochs: 3, BatchSize: 16, Optimizer: Adam}
+	forEachKernelTier(t, func(t *testing.T, tier mat.KernelTier) {
+		build := func() (*MaxoutNetwork, *rand.Rand) {
+			rng := rand.New(rand.NewSource(331))
+			return NewMaxout(rng, 3, 2, 8, 6, 2), rng
+		}
+		var fusedLoss, refLoss float64
+		fusedNet, fusedRNG := build()
+		refNet, refRNG := build()
+		withFused(true, func() {
+			var err error
+			if fusedLoss, err = fusedNet.Train(fusedRNG, xs, ys, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		withFused(false, func() {
+			var err error
+			if refLoss, err = refNet.Train(refRNG, xs, ys, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if fusedLoss != refLoss {
+			t.Fatalf("loss %g (fused) != %g (unfused)", fusedLoss, refLoss)
+		}
+		for li := range refNet.hidden {
+			for p := range refNet.hidden[li].Pieces {
+				fp, rp := fusedNet.hidden[li].Pieces[p], refNet.hidden[li].Pieces[p]
+				bitEqualDense(t, "piece W", fp.W, rp.W)
+				bitEqualVec(t, "piece B", fp.B, rp.B)
+			}
+		}
+		bitEqualDense(t, "out W", fusedNet.out.W, refNet.out.W)
+		bitEqualVec(t, "out B", fusedNet.out.B, refNet.out.B)
+	})
+}

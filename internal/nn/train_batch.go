@@ -23,14 +23,22 @@ type netScratch struct {
 	// Backing matrices allocated at full batch capacity.
 	x     *mat.Dense   // batch inputs, B×d
 	z     []*mat.Dense // per-layer pre-activations, B×out
-	a     []*mat.Dense // per-hidden-layer post-activations, B×out
+	a     []*mat.Dense // per-hidden-layer post-activations, B×out (unfused only)
 	delta []*mat.Dense // per-layer deltas, B×out
+
+	// Fused-path state: one reusable epilogue per layer (so the hot loop
+	// passes &epis[li] without allocating) and one (z > 0) mask per hidden
+	// layer, captured by the epilogue post-bias and consumed by the backward
+	// delta scaling in place of the overwritten pre-activations.
+	epis []mat.Epilogue
+	mask [][]bool // capacity rows·out per hidden layer
 
 	// RowsView(cur) of the backing matrices.
 	vx     *mat.Dense
 	vz     []*mat.Dense
 	va     []*mat.Dense
 	vdelta []*mat.Dense
+	vmask  [][]bool // mask[:cur·out] per hidden layer
 }
 
 func newNetScratch(n *Network, rows int) *netScratch {
@@ -41,15 +49,19 @@ func newNetScratch(n *Network, rows int) *netScratch {
 		z:      make([]*mat.Dense, nl),
 		a:      make([]*mat.Dense, nl-1),
 		delta:  make([]*mat.Dense, nl),
+		epis:   make([]mat.Epilogue, nl),
+		mask:   make([][]bool, nl-1),
 		vz:     make([]*mat.Dense, nl),
 		va:     make([]*mat.Dense, nl-1),
 		vdelta: make([]*mat.Dense, nl),
+		vmask:  make([][]bool, nl-1),
 	}
 	for i, l := range n.layers {
 		s.z[i] = mat.NewDense(rows, l.Out())
 		s.delta[i] = mat.NewDense(rows, l.Out())
 		if i < nl-1 {
 			s.a[i] = mat.NewDense(rows, l.Out())
+			s.mask[i] = make([]bool, rows*l.Out())
 		}
 	}
 	return s
@@ -70,6 +82,7 @@ func (s *netScratch) prepare(b int) {
 	}
 	for i := range s.a {
 		s.va[i] = s.a[i].RowsView(b)
+		s.vmask[i] = s.mask[i][:b*s.a[i].Cols()]
 	}
 }
 
@@ -92,15 +105,35 @@ func (n *Network) accumulateBatch(s *netScratch, g *gradients, xs []mat.Vec, lab
 	b := len(batch)
 	s.prepare(b)
 	last := len(n.layers) - 1
+	// Sampled once so forward and backward agree even if a test flips the
+	// toggle mid-epoch.
+	fused := fusedForward.Load()
 	for i, idx := range batch {
 		s.vx.SetRow(i, xs[idx])
 	}
 
-	// Forward, keeping per-layer pre-activations (z) for the backward
+	// Forward. Unfused keeps per-layer pre-activations (z) for the backward
 	// activation masks and post-activations (a) for the weight gradients.
+	// Fused activates z in place inside the GEMM epilogue and captures the
+	// post-bias (z > 0) mask instead: for every non-NaN value, !mask is
+	// exactly the reference's zv <= 0 test (including ±0), so the backward
+	// pass below scales the same deltas by the same leak either way.
 	cur := s.vx
 	for li, l := range n.layers {
 		z := s.vz[li]
+		if fused {
+			epi := &s.epis[li]
+			if li < last {
+				n.hiddenEpilogue(epi, l.B, s.vmask[li])
+			} else {
+				*epi = mat.Epilogue{Bias: l.B}
+			}
+			cur.MulBTIntoEpilogue(l.W, z, epi)
+			if li < last {
+				cur = z // holds the post-activation in place
+			}
+			continue
+		}
 		cur.MulBTInto(l.W, z)
 		addBiasRows(z, l.B)
 		if li < last {
@@ -138,15 +171,32 @@ func (n *Network) accumulateBatch(s *netScratch, g *gradients, xs []mat.Vec, lab
 		di := s.vdelta[i]
 		acts := s.vx
 		if i > 0 {
-			acts = s.va[i-1]
+			if fused {
+				acts = s.vz[i-1] // activated in place by the forward epilogue
+			} else {
+				acts = s.va[i-1]
+			}
 		}
 		di.MulATInto(acts, g.dW[i])
 		colSumsInto(di, g.dB[i])
 		if i > 0 {
 			dprev := s.vdelta[i-1]
 			di.MulInto(n.layers[i].W, dprev)
-			zprev := s.vz[i-1]
 			leak := n.leak
+			if fused {
+				w := dprev.Cols()
+				mk := s.vmask[i-1]
+				for r := 0; r < b; r++ {
+					drow := dprev.RawRow(r)
+					for j, on := range mk[r*w : r*w+w] {
+						if !on {
+							drow[j] *= leak
+						}
+					}
+				}
+				continue
+			}
+			zprev := s.vz[i-1]
 			for r := 0; r < b; r++ {
 				zrow, drow := zprev.RawRow(r), dprev.RawRow(r)
 				for j, zv := range zrow {
@@ -174,6 +224,10 @@ type maxoutScratch struct {
 	deltaO *mat.Dense   // read-out delta, B×C
 
 	winners [][][]int // winners[l][i][j]: winning piece of sample i, unit j
+
+	// Reusable bias-only epilogue for the fused piece/read-out GEMMs (the
+	// max fold is the nonlinearity, so the epilogue activation is identity).
+	epi mat.Epilogue
 
 	vx      *mat.Dense
 	vacts   []*mat.Dense
@@ -252,6 +306,7 @@ func (s *maxoutScratch) prepare(b int) {
 func (n *MaxoutNetwork) accumulateBatch(s *maxoutScratch, g *maxoutGradients, xs []mat.Vec, labels []int, batch []int) float64 {
 	b := len(batch)
 	s.prepare(b)
+	fused := fusedForward.Load()
 	for i, idx := range batch {
 		s.vx.SetRow(i, xs[idx])
 	}
@@ -262,8 +317,13 @@ func (n *MaxoutNetwork) accumulateBatch(s *maxoutScratch, g *maxoutGradients, xs
 		h := s.vacts[li]
 		zp := s.vpieceZ[li]
 		for p, piece := range l.Pieces {
-			cur.MulBTInto(piece.W, zp)
-			addBiasRows(zp, piece.B)
+			if fused {
+				s.epi = mat.Epilogue{Bias: piece.B}
+				cur.MulBTIntoEpilogue(piece.W, zp, &s.epi)
+			} else {
+				cur.MulBTInto(piece.W, zp)
+				addBiasRows(zp, piece.B)
+			}
 			if p == 0 {
 				for i := 0; i < b; i++ {
 					copy(h.RawRow(i), zp.RawRow(i))
@@ -287,8 +347,13 @@ func (n *MaxoutNetwork) accumulateBatch(s *maxoutScratch, g *maxoutGradients, xs
 		}
 		cur = h
 	}
-	cur.MulBTInto(n.out.W, s.voutZ)
-	addBiasRows(s.voutZ, n.out.B)
+	if fused {
+		s.epi = mat.Epilogue{Bias: n.out.B}
+		cur.MulBTIntoEpilogue(n.out.W, s.voutZ, &s.epi)
+	} else {
+		cur.MulBTInto(n.out.W, s.voutZ)
+		addBiasRows(s.voutZ, n.out.B)
+	}
 
 	// Softmax + cross-entropy head.
 	var loss float64

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the committed benchmark-trajectory sets (PR 3:
 # compute fast path, PR 4: heterogeneous shards, PR 5: batched training
-# epoch, PR 7: wire codecs, PR 8: hedged-dispatch tail latency), merge the
+# epoch, PR 7: wire codecs, PR 8: hedged-dispatch tail latency, PR 9: fused
+# GEMM epilogues + kernel tiers), merge the
 # results into one JSON file, and gate
 # them against the committed snapshots with `benchjson -compare`.
 #
@@ -45,6 +46,10 @@ go test -run='^$' -bench='BenchmarkWireBatch' -benchtime=200x ./internal/wire/ >
 echo "== PR 8 set: hedged dispatch tail latency (spiky remote, p99 metric)"
 go test -run='^$' -bench='BenchmarkShard_Tail_(Unhedged|Hedged)' -benchtime=20x ./internal/api/ >"$tmp/hedge.txt"
 
-cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt "$tmp"/hedge.txt |
+echo "== PR 9 set: fused GEMM epilogues, best tier vs unfused PR-3 forward"
+go test -run='^$' -bench='BenchmarkMulEpilogue' -benchtime=10x ./internal/mat/ >"$tmp/epilogue.txt"
+go test -run='^$' -bench='BenchmarkForward(Fused|UnfusedPR3_)256' -benchtime=20x ./internal/nn/ >"$tmp/fused.txt"
+
+cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt "$tmp"/hedge.txt "$tmp"/epilogue.txt "$tmp"/fused.txt |
 	go run ./cmd/benchjson -out "$out" \
-		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json,BENCH_pr8.json -tol "$tol"
+		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr9.json -tol "$tol"
