@@ -28,6 +28,18 @@
 // cleanly on SIGINT/SIGTERM. -advertise overrides the URL the router dials
 // back (default: derived from -addr).
 //
+// With -atlas path the closed-form regions the white box composes are
+// persisted to a checksummed append-log and survive restarts: a cold-started
+// instance answers interpretation for every previously seen region without
+// recomposing a single GEMM chain. The atlas also mounts GET /regions/{key}
+// (one stored closed form, bit-identical over the binary codec) and GET
+// /atlas/snapshot (the committed log as a stream); a worker that -joins an
+// atlas-bearing router pulls the snapshot on register and starts warm.
+// Async census jobs (POST /jobs with op "census") sweep probes around
+// submitted anchors purely to populate the store ahead of demand; /stats
+// grows an "atlas" section (regions, bytes, hits, cold_misses,
+// census_progress).
+//
 // With -hedge the shard router speculatively re-dispatches chunks that sit
 // on one backend past an adaptive threshold (a multiple of that backend's
 // EWMA chunk round trip); the first answer wins bit-identically and the
@@ -75,10 +87,35 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/atlas"
 	"repro/internal/jobs"
 	"repro/internal/modelio"
+	"repro/internal/openbox"
 	"repro/internal/plm"
 )
+
+// atlasFrontEntries is the RAM LRU capacity layered in front of the disk
+// atlas: hot regions answer from memory, everything else from a pread.
+const atlasFrontEntries = 1024
+
+// pullAtlasSnapshot fetches the router's committed atlas log and merges it
+// into the local store — the warm-start half of the fleet join handshake.
+// Ingest dedups by key, so re-pulling after a re-register is idempotent.
+func pullAtlasSnapshot(ctx context.Context, router string, store *atlas.Atlas) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, router+"/atlas/snapshot", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("atlas snapshot fetch: %s", resp.Status)
+	}
+	return store.Ingest(resp.Body)
+}
 
 // loadReplicas loads the model file n times — each replica owns its own
 // parameters — and wraps them in the shard router when n > 1, so a single
@@ -189,6 +226,7 @@ func main() {
 		hedge      = flag.Bool("hedge", false, "speculatively re-dispatch slow chunks to another backend (tail-latency insurance)")
 		joinFl     = flag.String("join", "", "fleet router address to register this instance with as a worker")
 		advertise  = flag.String("advertise", "", "base URL the router should dial this worker back on (default: from -addr)")
+		atlasPath  = flag.String("atlas", "", "persistent region atlas file: closed-form regions survive restarts and are served to joining workers")
 		cacheN     = flag.Int("cache", 0, "LRU response cache entries in front of the model (0: off)")
 		jobsN      = flag.Int("jobs", 0, "async job store capacity enabling POST /jobs (0: off)")
 		jobWorkers = flag.Int("job-workers", runtime.NumCPU(), "async job pool workers")
@@ -257,6 +295,19 @@ func main() {
 		log.Fatalf("-cache %d: need >= 0", *cacheN)
 	}
 
+	var store *atlas.Atlas
+	if *atlasPath != "" {
+		a, err := atlas.Open(*atlasPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer a.Close()
+		if n := a.Len(); n > 0 {
+			log.Printf("atlas %s: %d region(s) recovered", *atlasPath, n)
+		}
+		store = a
+	}
+
 	srv := api.NewServer(model, *name)
 	srv.Latency = *latency
 	endpoints := "GET /meta, POST /predict, POST /batch, GET /stats"
@@ -270,6 +321,8 @@ func main() {
 		defer reg.Stop()
 		endpoints += ", POST /register, POST /heartbeat, POST /leave"
 	}
+	var runner *jobs.Runner
+	var reporter openbox.StoreReporter
 	if *jobsN > 0 {
 		// Interpret jobs extract from a dedicated white-box copy, so the
 		// closed-form compositions never contend with the serving replicas
@@ -282,15 +335,59 @@ func main() {
 				log.Fatal(err)
 			}
 			white = w
+			if store != nil {
+				// Every region the white box composes — interpret harvests
+				// and census sweeps alike — lands in the durable atlas, with
+				// a RAM LRU in front for the hot set. After a restart the
+				// store answers without recomposing a single GEMM chain.
+				white = openbox.CacheRegionModelOpts(w, openbox.StoreOptions{
+					Capacity: atlasFrontEntries,
+					Backing:  store,
+				})
+				reporter, _ = white.(openbox.StoreReporter)
+			}
 		}
-		runner, err := jobs.NewRunner(model, white, *jobsN, *jobWorkers)
+		r, err := jobs.NewRunner(model, white, *jobsN, *jobWorkers)
 		if err != nil {
 			log.Fatal(err)
 		}
+		runner = r
 		runner.Mount(srv)
 		endpoints += ", POST /jobs, GET /jobs/{id}"
 	} else if *jobsN < 0 {
 		log.Fatalf("-jobs %d: need >= 0", *jobsN)
+	}
+	if store != nil {
+		srv.SetRegionSource(store.Lookup)
+		srv.AddStoreStats("regions", store.Stats)
+		srv.Handle("GET /atlas/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if _, err := store.WriteSnapshot(w); err != nil {
+				log.Printf("atlas snapshot: %v", err)
+			}
+		})
+		srv.SetAtlasStatus(func() api.AtlasStatus {
+			st := store.Stats()
+			as := api.AtlasStatus{
+				Regions:     st.Size,
+				Bytes:       st.Bytes,
+				Hits:        st.Hits,
+				ColdMisses:  st.Misses,
+				Quarantined: store.Quarantined(),
+			}
+			if reporter != nil {
+				as.Compositions = reporter.RegionCompositions()
+			}
+			if runner != nil {
+				done, total := runner.CensusProgress()
+				as.CensusDone, as.CensusTotal = done, total
+				if total > 0 {
+					as.CensusProgress = float64(done) / float64(total)
+				}
+			}
+			return as
+		})
+		endpoints += ", GET /regions/{key}, GET /atlas/snapshot"
 	}
 	fmt.Printf("serving %s (%d features, %d classes, %d local replica(s), %d remote backend(s)) on %s\n",
 		*name, model.Dim(), model.Classes(), *replicas, len(backendAddrs), *addr)
@@ -326,6 +423,20 @@ func main() {
 			Router:    normalizeURL(*joinFl),
 			Advertise: advertiseURL(*addr, *advertise),
 			Logf:      log.Printf,
+		}
+		if store != nil {
+			// Routers that keep an atlas advertise it in the register ack;
+			// pull their committed log so this worker starts warm instead of
+			// recomposing regions the fleet has already paid for.
+			router := sess.Router
+			sess.OnAtlas = func(ctx context.Context) {
+				added, err := pullAtlasSnapshot(ctx, router, store)
+				if err != nil {
+					log.Printf("atlas snapshot pull: %v", err)
+					return
+				}
+				log.Printf("atlas: ingested %d region(s) from router snapshot", added)
+			}
 		}
 		sessDone = make(chan struct{})
 		go func() {

@@ -1,18 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/atlas"
+	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/modelio"
 	"repro/internal/nn"
+	"repro/internal/openbox"
 )
 
 // TestLoadReplicasServesShardedStats exercises exactly what `plmserve
@@ -263,5 +269,349 @@ func TestBuildBackendsHeterogeneous(t *testing.T) {
 func TestBuildBackendsRejectsBadAddress(t *testing.T) {
 	if _, err := buildBackends("", "plnn", 0, []string{"127.0.0.1:1"}); err == nil {
 		t.Fatal("undialable backend accepted")
+	}
+}
+
+// TestAtlasColdStartServesCensusedRegions is the acceptance gate for
+// `plmserve -atlas`: a first process censuses regions into the disk atlas,
+// a second cold-started process answers interpretation for the same probes
+// bit-identically with zero closed-form compositions — the GEMM chains were
+// paid for exactly once, before the restart.
+func TestAtlasColdStartServesCensusedRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := nn.New(rng, 6, 10, 3)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "plnn.json")
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	atlasPath := filepath.Join(dir, "regions.plma")
+
+	// build assembles exactly what main() wires for -atlas -jobs: the white
+	// box backed by the RAM-fronted disk store, the runner, and the server
+	// with the atlas endpoints and /stats section.
+	build := func() (*httptest.Server, *atlas.Atlas, openbox.StoreReporter, *jobs.Runner) {
+		a, err := atlas.Open(atlasPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := modelio.Load(modelPath, "plnn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		white := openbox.CacheRegionModelOpts(w, openbox.StoreOptions{
+			Capacity: atlasFrontEntries,
+			Backing:  a,
+		})
+		reporter := white.(openbox.StoreReporter)
+		m, err := modelio.Load(modelPath, "plnn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner, err := jobs.NewRunner(m, white, 16, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := api.NewServer(m, "atlas-test")
+		runner.Mount(srv)
+		srv.SetRegionSource(a.Lookup)
+		srv.SetAtlasStatus(func() api.AtlasStatus {
+			st := a.Stats()
+			done, total := runner.CensusProgress()
+			return api.AtlasStatus{
+				Regions: st.Size, Bytes: st.Bytes, Hits: st.Hits, ColdMisses: st.Misses,
+				Compositions: reporter.RegionCompositions(),
+				CensusDone:   done, CensusTotal: total,
+			}
+		})
+		ts := httptest.NewServer(srv)
+		return ts, a, reporter, runner
+	}
+
+	getStats := func(url string) api.AtlasStatus {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Atlas *api.AtlasStatus `json:"atlas"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Atlas == nil {
+			t.Fatal("/stats has no atlas section")
+		}
+		return *stats.Atlas
+	}
+
+	pollDone := func(url, id string) jobs.View {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(url + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v jobs.View
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if v.Status == jobs.StatusDone || v.Status == jobs.StatusFailed {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, v.Status)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	submit := func(url, body string) jobs.View {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobs.View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit answered %s", resp.Status)
+		}
+		return v
+	}
+
+	xs := make([]mat.Vec, 12)
+	for i := range xs {
+		xs[i] = make(mat.Vec, 6)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	encode := func(op string, n int) string {
+		req := map[string]any{"op": op, "xs": xs, "n": n}
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// ---- Warm process: census + interpret, everything lands on disk.
+	ts1, a1, rep1, _ := build()
+	census := pollDone(ts1.URL, submit(ts1.URL, encode("census", 64)).ID)
+	if census.Status != jobs.StatusDone || census.Census == nil || census.Census.Probes != 64 {
+		t.Fatalf("census ended %s (%s) report=%+v", census.Status, census.Error, census.Census)
+	}
+	warm := pollDone(ts1.URL, submit(ts1.URL, encode("interpret", 0)).ID)
+	if warm.Status != jobs.StatusDone || len(warm.Regions) == 0 {
+		t.Fatalf("warm interpret ended %s with %d regions", warm.Status, len(warm.Regions))
+	}
+	warmStats := getStats(ts1.URL)
+	if warmStats.Regions == 0 || warmStats.Compositions == 0 {
+		t.Fatalf("warm atlas stats = %+v, want regions and compositions > 0", warmStats)
+	}
+	if warmStats.CensusDone != 64 || warmStats.CensusTotal != 64 {
+		t.Fatalf("census progress %d/%d, want 64/64", warmStats.CensusDone, warmStats.CensusTotal)
+	}
+	if rep1.RegionCompositions() == 0 {
+		t.Fatal("warm process composed nothing")
+	}
+	ts1.Close()
+	if err := a1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Cold process: same request, zero compositions, identical bits.
+	ts2, a2, rep2, _ := build()
+	defer ts2.Close()
+	defer a2.Close()
+	coldStats := getStats(ts2.URL)
+	if coldStats.Regions != warmStats.Regions {
+		t.Fatalf("cold atlas recovered %d regions, warm had %d", coldStats.Regions, warmStats.Regions)
+	}
+	cold := pollDone(ts2.URL, submit(ts2.URL, encode("interpret", 0)).ID)
+	if cold.Status != jobs.StatusDone {
+		t.Fatalf("cold interpret ended %s (%s)", cold.Status, cold.Error)
+	}
+	if got := rep2.RegionCompositions(); got != 0 {
+		t.Fatalf("cold process composed %d regions, want 0 — the atlas was supposed to answer", got)
+	}
+	after := getStats(ts2.URL)
+	if after.Compositions != 0 || after.ColdMisses != 0 {
+		t.Fatalf("cold atlas stats = %+v, want 0 compositions and 0 cold misses", after)
+	}
+	if len(cold.Regions) != len(warm.Regions) {
+		t.Fatalf("cold harvest has %d regions, warm had %d", len(cold.Regions), len(warm.Regions))
+	}
+	for i := range warm.Regions {
+		w, c := warm.Regions[i], cold.Regions[i]
+		for r := range w.RelW {
+			for j := range w.RelW[r] {
+				if math.Float64bits(w.RelW[r][j]) != math.Float64bits(c.RelW[r][j]) {
+					t.Fatalf("region %d RelW[%d][%d] differs across restart", i, r, j)
+				}
+			}
+		}
+		for j := range w.RelB {
+			if math.Float64bits(w.RelB[j]) != math.Float64bits(c.RelB[j]) {
+				t.Fatalf("region %d RelB[%d] differs across restart", i, j)
+			}
+		}
+	}
+
+	// The stored closed forms are individually addressable.
+	keys := a2.Keys()
+	if len(keys) == 0 {
+		t.Fatal("cold atlas has no keys")
+	}
+	resp, err := http.Get(ts2.URL + "/v1/regions/" + keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/regions/%s answered %s", keys[0], resp.Status)
+	}
+}
+
+// TestAtlasSnapshotWarmsJoiningWorker is the snapshot-on-join handshake
+// exactly as main() wires it: a router with a populated atlas, a worker
+// whose FleetSession pulls /atlas/snapshot on register and ingests it.
+func TestAtlasSnapshotWarmsJoiningWorker(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := nn.New(rng, 5, 8, 3)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "plnn.json")
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Router side: an atlas populated by a census sweep.
+	routerAtlas, err := atlas.Open(filepath.Join(dir, "router.plma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer routerAtlas.Close()
+	w, err := modelio.Load(modelPath, "plnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	white := openbox.CacheRegionModelOpts(w, openbox.StoreOptions{Capacity: 64, Backing: routerAtlas})
+	runner, err := jobs.NewRunner(white, white, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := api.NewDynamicShard(api.ShardConfig{})
+	reg := api.NewRegistry(shard, api.RegistryConfig{TTL: time.Second})
+	srv := api.NewServer(white, "router")
+	reg.Mount(srv)
+	runner.Mount(srv)
+	srv.SetAtlasStatus(func() api.AtlasStatus {
+		st := routerAtlas.Stats()
+		return api.AtlasStatus{Regions: st.Size, Bytes: st.Bytes}
+	})
+	srv.Handle("GET /atlas/snapshot", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := routerAtlas.WriteSnapshot(rw); err != nil {
+			t.Errorf("snapshot write: %v", err)
+		}
+	})
+	router := httptest.NewServer(srv)
+	defer router.Close()
+
+	anchors := []mat.Vec{make(mat.Vec, 5), make(mat.Vec, 5)}
+	for _, a := range anchors {
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+	}
+	id, err := runner.SubmitN(jobs.OpCensus, anchors, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok := runner.Get(id)
+		if !ok {
+			t.Fatal("census job vanished")
+		}
+		if v.Status == jobs.StatusDone {
+			break
+		}
+		if v.Status == jobs.StatusFailed || time.Now().After(deadline) {
+			t.Fatalf("census ended %s (%s)", v.Status, v.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if routerAtlas.Len() == 0 {
+		t.Fatal("router atlas empty after census")
+	}
+
+	// Worker side: plmserve -join with its own (empty) atlas.
+	workerAtlas, err := atlas.Open(filepath.Join(dir, "worker.plma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workerAtlas.Close()
+	wm, err := modelio.Load(modelPath, "plnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerSrv := httptest.NewServer(api.NewServer(wm, "worker"))
+	defer workerSrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := &api.FleetSession{Router: router.URL, Advertise: workerSrv.URL}
+	sess.OnAtlas = func(ctx context.Context) {
+		if _, err := pullAtlasSnapshot(ctx, router.URL, workerAtlas); err != nil {
+			t.Errorf("snapshot pull: %v", err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = sess.Run(ctx)
+	}()
+	deadline = time.Now().Add(5 * time.Second)
+	for workerAtlas.Len() != routerAtlas.Len() {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker atlas has %d regions, router has %d", workerAtlas.Len(), routerAtlas.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	// The pulled regions are bit-identical to the router's.
+	for _, key := range routerAtlas.Keys() {
+		rl, ok := routerAtlas.Lookup(key)
+		if !ok {
+			t.Fatalf("router lost %s", key)
+		}
+		wl, ok := workerAtlas.Lookup(key)
+		if !ok {
+			t.Fatalf("worker missing %s", key)
+		}
+		for i := 0; i < rl.W.Rows(); i++ {
+			rr, wr := rl.W.RawRow(i), wl.W.RawRow(i)
+			for j := range rr {
+				if math.Float64bits(rr[j]) != math.Float64bits(wr[j]) {
+					t.Fatalf("%s W[%d][%d] differs after snapshot ingest", key, i, j)
+				}
+			}
+		}
+		for j := range rl.B {
+			if math.Float64bits(rl.B[j]) != math.Float64bits(wl.B[j]) {
+				t.Fatalf("%s B[%d] differs after snapshot ingest", key, j)
+			}
+		}
 	}
 }

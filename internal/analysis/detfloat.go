@@ -12,6 +12,7 @@ import (
 // a float that crosses the HTTP boundary must come back with the same bits
 // whichever codec carried it.
 var bitIdentityPkgs = map[string]bool{
+	"repro/internal/atlas":   true,
 	"repro/internal/mat":     true,
 	"repro/internal/nn":      true,
 	"repro/internal/openbox": true,

@@ -180,6 +180,21 @@ func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Lo
 // Evictions returns how many entries a bounded cache has displaced.
 func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
+// StoreStats returns the unified accounting shape (see plm.StoreStats).
+// Bytes counts the cached probability vectors' float payloads.
+func (c *Cache) StoreStats() plm.StoreStats {
+	c.mu.Lock()
+	size := len(c.data)
+	c.mu.Unlock()
+	return plm.StoreStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      size,
+		Bytes:     int64(size) * int64(c.inner.Classes()) * 8,
+	}
+}
+
 // Flaky wraps a model and corrupts a fraction of responses — the fault
 // injector for robustness tests. A corrupted response is the uniform
 // distribution over classes, which is what a degraded service might return.

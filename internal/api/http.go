@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,13 @@ import (
 // frames at a fraction of the bytes. Negotiation is per request via
 // Content-Type and Accept; /meta advertises what the server speaks.
 
+// APIVersion is the versioned-path generation this server speaks: every
+// endpoint is mounted both at its legacy unversioned path and under
+// /v1/..., and /meta advertises the number so clients prefer the versioned
+// prefix — the same advertise-then-upgrade pattern the codec negotiation
+// uses. Absent (0) on pre-versioning servers.
+const APIVersion = 1
+
 type metaResponse struct {
 	Name    string `json:"name"`
 	Dim     int    `json:"dim"`
@@ -40,6 +48,27 @@ type metaResponse struct {
 	// "binary"). Absent on pre-codec servers — which is exactly how a new
 	// client knows to stay on JSON against an old peer.
 	Codecs []string `json:"codecs,omitempty"`
+	// APIVersion advertises the versioned path prefix (/v1) generation.
+	// Absent on pre-versioning servers — which is how a new client knows
+	// to stay on the unversioned paths against an old peer.
+	APIVersion int `json:"api_version,omitempty"`
+}
+
+// AtlasStatus is the /stats section a mounted region atlas fills in: the
+// durable store's size and traffic, how many closed forms this process
+// actually composed, and census sweep progress.
+type AtlasStatus struct {
+	Regions      int   `json:"regions"`
+	Bytes        int64 `json:"bytes"`
+	Hits         int64 `json:"hits"`
+	ColdMisses   int64 `json:"cold_misses"`
+	Quarantined  int64 `json:"quarantined"`
+	Compositions int64 `json:"compositions"`
+	// Census progress: instances swept so far out of the submitted total
+	// (across all census jobs), and the ratio when a total exists.
+	CensusDone     int64   `json:"census_done"`
+	CensusTotal    int64   `json:"census_total"`
+	CensusProgress float64 `json:"census_progress"`
 }
 
 type statsResponse struct {
@@ -66,6 +95,14 @@ type statsResponse struct {
 	// Registry is the fleet-membership section a mounted Registry fills in:
 	// live members and the join/leave/expiry transition counters.
 	Registry *RegistryStatus `json:"registry,omitempty"`
+	// Caches is the unified per-store section: every cache in the process
+	// (response cache, region cache, atlas) reports the same
+	// hits/misses/evictions/size/bytes shape under its name, so dashboards
+	// parse one schema. The legacy cache_* fields above stay for old
+	// consumers.
+	Caches map[string]plm.StoreStats `json:"caches,omitempty"`
+	// Atlas is the region-atlas section (plmserve -atlas).
+	Atlas *AtlasStatus `json:"atlas,omitempty"`
 }
 
 // serverCodecs is what /meta advertises.
@@ -94,15 +131,27 @@ type Server struct {
 	// statsExtras are hooks mounted subsystems (the fleet registry) use to
 	// add their own sections to the /stats report.
 	statsExtras []func(*statsResponse)
+	// storeStats are the named per-store accounting hooks behind the
+	// unified /stats "caches" section.
+	storeStats []namedStoreStats
+	// atlasStatus, when set, fills the /stats "atlas" section.
+	atlasStatus func() AtlasStatus
 }
 
-// NewServer wraps model as an HTTP prediction service.
+type namedStoreStats struct {
+	name string
+	get  func() plm.StoreStats
+}
+
+// NewServer wraps model as an HTTP prediction service. Every endpoint —
+// including ones mounted later through Handle — answers both at its legacy
+// path and under the /v1 prefix.
 func NewServer(model plm.Model, name string) *Server {
 	s := &Server{model: model, name: name, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /meta", s.handleMeta)
-	s.mux.HandleFunc("POST /predict", s.handlePredict)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.Handle("GET /meta", s.handleMeta)
+	s.Handle("POST /predict", s.handlePredict)
+	s.Handle("POST /batch", s.handleBatch)
+	s.Handle("GET /stats", s.handleStats)
 	return s
 }
 
@@ -131,7 +180,8 @@ func (s *Server) exchange(r *http.Request) *wire.Exchange {
 
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	wire.WriteJSON(w, http.StatusOK, metaResponse{
-		Name: s.name, Dim: s.model.Dim(), Classes: s.model.Classes(), Codecs: serverCodecs,
+		Name: s.name, Dim: s.model.Dim(), Classes: s.model.Classes(),
+		Codecs: serverCodecs, APIVersion: APIVersion,
 	})
 }
 
@@ -141,6 +191,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		RoundTrips: s.requests.Load(),
 		Counts:     s.wireStats.Counts(),
 	}
+	addCache := func(name string, st plm.StoreStats) {
+		if resp.Caches == nil {
+			resp.Caches = make(map[string]plm.StoreStats, len(s.storeStats)+1)
+		}
+		resp.Caches[name] = st
+	}
 	model := s.model
 	if rc, ok := model.(*ResponseCache); ok {
 		hits, misses, evictions := rc.CacheStats()
@@ -149,12 +205,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.CacheMisses = &misses
 		resp.CacheEvictions = &evictions
 		resp.CacheSize = &size
+		addCache("response", rc.StoreStats())
 		// The replica breakdown lives behind the cache.
 		model = rc.Inner()
 	}
 	if sh, ok := model.(*Shard); ok {
 		resp.ReplicaQueries = sh.ReplicaQueries()
 		resp.Backends = sh.BackendStatus()
+	}
+	for _, st := range s.storeStats {
+		addCache(st.name, st.get())
+	}
+	if s.atlasStatus != nil {
+		status := s.atlasStatus()
+		resp.Atlas = &status
 	}
 	for _, extra := range s.statsExtras {
 		extra(&resp)
@@ -164,9 +228,79 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // Handle mounts an extra handler on the server's mux — how optional
 // subsystems (the async job API, say) attach their endpoints without the
-// core server depending on them.
+// core server depending on them. The handler answers at both the given
+// pattern and its /v1-prefixed alias.
 func (s *Server) Handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, h)
+	if v := versionedPattern(pattern); v != "" {
+		s.mux.HandleFunc(v, h)
+	}
+}
+
+// versionedPattern maps "METHOD /path" to "METHOD /v1/path" (or "/path" to
+// "/v1/path"), returning "" when the pattern is already versioned or has no
+// rooted path to prefix.
+func versionedPattern(pattern string) string {
+	method, path, found := strings.Cut(pattern, " ")
+	if !found {
+		method, path = "", pattern
+	}
+	if !strings.HasPrefix(path, "/") || path == "/" ||
+		path == "/v1" || strings.HasPrefix(path, "/v1/") {
+		return ""
+	}
+	if method == "" {
+		return "/v1" + path
+	}
+	return method + " /v1" + path
+}
+
+// AddStoreStats registers a named store for the unified /stats "caches"
+// section. Register before serving: the slice is not guarded.
+func (s *Server) AddStoreStats(name string, get func() plm.StoreStats) {
+	s.storeStats = append(s.storeStats, namedStoreStats{name: name, get: get})
+}
+
+// SetAtlasStatus installs the hook filling the /stats "atlas" section.
+func (s *Server) SetAtlasStatus(get func() AtlasStatus) { s.atlasStatus = get }
+
+// SetRegionSource mounts GET /regions/{key} (and its /v1 alias): the
+// closed-form (W, b) of one stored region by PatternKey. Clients accepting
+// the binary codec get the PLMB framing (W frame, then B as one row —
+// bit-identical Float64bits); everyone else gets JSON. Only metadata the
+// paper's closed form already implies crosses the wire here: the endpoint
+// serves the *stored interpretation artifact*, never raw model parameters.
+func (s *Server) SetRegionSource(lookup func(key string) (*plm.Linear, bool)) {
+	s.Handle("GET /regions/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		lin, ok := lookup(key)
+		if !ok {
+			wire.WriteError(w, http.StatusNotFound, fmt.Errorf("region %q not stored", key))
+			return
+		}
+		rows := make([][]float64, lin.W.Rows())
+		for i := range rows {
+			rows[i] = lin.W.RawRow(i)
+		}
+		ex := s.exchange(r)
+		if bin, ok := ex.BinaryOut(); ok {
+			w.Header().Set("Content-Type", bin.ContentType())
+			cw := ex.CountWriter(w)
+			if err := wire.WriteFrame(cw, rows, false); err != nil {
+				return
+			}
+			_ = wire.WriteFrame(cw, [][]float64{lin.B}, false)
+			return
+		}
+		ex.WriteJSON(w, http.StatusOK, regionResponse{Key: lin.Key, W: rows, B: lin.B})
+	})
+}
+
+// regionResponse is the JSON shape of GET /regions/{key}.
+type regionResponse struct {
+	Key string      `json:"key"`
+	W   [][]float64 `json:"w"`
+	B   []float64   `json:"b"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -326,6 +460,9 @@ type Client struct {
 	// explicitly outside the bit-identity surface.
 	f32       bool
 	wireStats wire.Stats
+	// prefix is "/v1" once the server's /meta advertised api_version >= 1,
+	// and "" against older peers — negotiated exactly like the codec.
+	prefix string
 
 	// PingTimeout bounds each Ping/PingCtx health probe so a dead host
 	// cannot stall the prober for the transport timeout. Dial sets 2s;
@@ -367,8 +504,19 @@ func Dial(baseURL string, httpc *http.Client, retries int) (*Client, error) {
 			c.binary, c.binaryOK = true, true
 		}
 	}
+	if c.meta.APIVersion >= 1 {
+		c.prefix = "/v1"
+	}
 	return c, nil
 }
+
+// Prefix returns the negotiated path prefix ("/v1" against a versioned
+// server, "" otherwise). Subsystems extending the wire protocol with their
+// own endpoints (the async job client) build their paths through it.
+func (c *Client) Prefix() string { return c.prefix }
+
+// path prepends the negotiated version prefix to an endpoint path.
+func (c *Client) path(p string) string { return c.prefix + p }
 
 // Name returns the remote model's advertised name.
 func (c *Client) Name() string { return c.meta.Name }
@@ -590,7 +738,7 @@ func (c *Client) PredictErr(x mat.Vec) (mat.Vec, error) {
 // PredictErrCtx is PredictErr under a caller context: the request is
 // cancelled — including retries in flight — the moment the context ends.
 func (c *Client) PredictErrCtx(ctx context.Context, x mat.Vec) (mat.Vec, error) {
-	probs, err := c.postVec(ctx, "/predict", "x", x, "probs")
+	probs, err := c.postVec(ctx, c.path("/predict"), "x", x, "probs")
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +776,7 @@ func (c *Client) PredictBatchCtx(ctx context.Context, xs []mat.Vec) ([]mat.Vec, 
 	for i, x := range xs {
 		rows[i] = x
 	}
-	probs, err := c.postMat(ctx, "/batch", "xs", rows, "probs")
+	probs, err := c.postMat(ctx, c.path("/batch"), "xs", rows, "probs")
 	if err != nil {
 		return nil, err
 	}

@@ -285,7 +285,8 @@ func TestRetryStopsOnClientError(t *testing.T) {
 	var attempts atomic.Int64
 	inner := NewServer(testModel(100), "strict")
 	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/predict" || r.URL.Path == "/batch" {
+		switch strings.TrimPrefix(r.URL.Path, "/v1") {
+		case "/predict", "/batch":
 			attempts.Add(1)
 		}
 		inner.ServeHTTP(w, r)
@@ -315,7 +316,7 @@ func TestRetryStillCoversServerErrors(t *testing.T) {
 	// 5xx stays retryable: a persistent 503 is attempted 1 + retries times.
 	var attempts atomic.Int64
 	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/predict" {
+		if r.URL.Path == "/predict" || r.URL.Path == "/v1/predict" {
 			attempts.Add(1)
 			http.Error(w, "overloaded", http.StatusServiceUnavailable)
 			return

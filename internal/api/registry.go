@@ -98,10 +98,14 @@ type registerRequest struct {
 	Addr string `json:"addr"`
 }
 
-// registerResponse tells a registered worker its lease terms.
+// registerResponse tells a registered worker its lease terms. Atlas
+// advertises that the router serves a region-atlas snapshot at
+// /atlas/snapshot, so a joining worker can pull a warm store instead of
+// starting cold — the snapshot-on-join handshake.
 type registerResponse struct {
 	TTLMillis      int64 `json:"ttl_ms"`
 	IntervalMillis int64 `json:"interval_ms"`
+	Atlas          bool  `json:"atlas,omitempty"`
 }
 
 // NewRegistry builds a registry controlling the given shard's membership.
@@ -332,6 +336,8 @@ func (r *Registry) Mount(srv *Server) {
 		wire.WriteJSON(w, http.StatusOK, registerResponse{
 			TTLMillis:      r.cfg.TTL.Milliseconds(),
 			IntervalMillis: r.Interval().Milliseconds(),
+			// Late-bound on purpose: the atlas may be wired after Mount.
+			Atlas: srv.atlasStatus != nil,
 		})
 	})
 	srv.Handle("POST /heartbeat", func(w http.ResponseWriter, req *http.Request) {
@@ -374,6 +380,12 @@ type FleetSession struct {
 	// Logf, when set, receives session transitions (registered, lost lease,
 	// leave) — plmserve points it at its logger.
 	Logf func(format string, args ...any)
+	// OnAtlas, when set, runs after every successful registration whose
+	// lease advertises a router-side region atlas — the worker's chance to
+	// pull a warm snapshot (GET router/atlas/snapshot → atlas.Ingest).
+	// Called synchronously, so keep it bounded; ingestion dedups by key,
+	// making repeat pulls after re-registration idempotent.
+	OnAtlas func(ctx context.Context)
 }
 
 func (fs *FleetSession) client() *http.Client {
@@ -427,6 +439,9 @@ func (fs *FleetSession) register(ctx context.Context) (time.Duration, error) {
 		interval = time.Second
 	}
 	fs.logf("joined fleet at %s (heartbeat every %v)", fs.Router, interval)
+	if lease.Atlas && fs.OnAtlas != nil {
+		fs.OnAtlas(ctx)
+	}
 	return interval, nil
 }
 

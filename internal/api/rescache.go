@@ -55,6 +55,25 @@ func (rc *ResponseCache) CacheStats() (hits, misses, evictions int64) {
 	return rc.hits.Load(), rc.misses.Load(), rc.evictions.Load()
 }
 
+// StoreStats returns the unified accounting shape (see plm.StoreStats).
+// Bytes counts the cached probability vectors' float payloads.
+func (rc *ResponseCache) StoreStats() plm.StoreStats {
+	rc.mu.Lock()
+	size := rc.c.Len()
+	rc.mu.Unlock()
+	var bytes int64
+	if size > 0 {
+		bytes = int64(size) * int64(rc.inner.Classes()) * 8
+	}
+	return plm.StoreStats{
+		Hits:      rc.hits.Load(),
+		Misses:    rc.misses.Load(),
+		Evictions: rc.evictions.Load(),
+		Size:      size,
+		Bytes:     bytes,
+	}
+}
+
 // Len returns the number of cached responses.
 func (rc *ResponseCache) Len() int {
 	rc.mu.Lock()

@@ -1,0 +1,116 @@
+package atlas_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/atlas"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/openbox"
+	"repro/internal/plm"
+)
+
+// benchNet mirrors the openbox benchmark topology: a mid-size PLNN whose
+// closed-form composition costs a real GEMM chain.
+func benchNet() *nn.Network {
+	return nn.New(rand.New(rand.NewSource(51)), 64, 96, 64, 10)
+}
+
+func benchInstances(net *nn.Network, n int) []mat.Vec {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]mat.Vec, n)
+	for i := range xs {
+		x := make(mat.Vec, net.InputDim())
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// BenchmarkAtlas_ColdCompose is the baseline the atlas is measured against:
+// composing a region's closed form from the network, no cache.
+func BenchmarkAtlas_ColdCompose(b *testing.B) {
+	net := benchNet()
+	xs := benchInstances(net, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := openbox.Extract(net, xs[i%len(xs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAtlas_WarmLookup measures serving a previously composed region
+// straight off the log: pread + checksum + frame decode, no GEMM.
+func BenchmarkAtlas_WarmLookup(b *testing.B) {
+	net := benchNet()
+	xs := benchInstances(net, 64)
+	a, err := atlas.Open(filepath.Join(b.TempDir(), "bench.atlas"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	keys := make([]string, len(xs))
+	for i, x := range xs {
+		lin, err := openbox.Extract(net, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Insert(lin.Key, lin)
+		keys[i] = lin.Key
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.Lookup(keys[i%len(keys)]); !ok {
+			b.Fatal("warm lookup missed")
+		}
+	}
+}
+
+// BenchmarkAtlas_Reopen measures cold-start recovery: rebuilding the key
+// index from a populated log (no float decoding).
+func BenchmarkAtlas_Reopen(b *testing.B) {
+	net := benchNet()
+	path := filepath.Join(b.TempDir(), "bench.atlas")
+	a, err := atlas.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	seen := make(map[string]bool)
+	for len(seen) < 256 {
+		x := make(mat.Vec, net.InputDim())
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		var lin *plm.Linear
+		lin, err = openbox.Extract(net, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seen[lin.Key] {
+			continue
+		}
+		seen[lin.Key] = true
+		a.Insert(lin.Key, lin)
+	}
+	a.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := atlas.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != 256 {
+			b.Fatalf("reopen lost regions: %d", r.Len())
+		}
+		r.Close()
+	}
+}

@@ -68,6 +68,79 @@ func RegionCensus(model plm.RegionModel, anchors []mat.Vec, n, maxBisect int, rn
 	}, nil
 }
 
+// SweepReport summarizes one region-census sweep: how many probes were
+// pushed through the model's closed-form path and how many distinct locally
+// linear regions they touched. It is the async census job's result shape.
+type SweepReport struct {
+	Probes          int `json:"probes"`
+	DistinctRegions int `json:"distinct_regions"`
+}
+
+// sweepChunk is how many probes one batched LocalAtAll call carries.
+const sweepChunk = 256
+
+// localBatcher is the batched closed-form surface (openbox.PLNN): one
+// forward per chunk, one composition per distinct region.
+type localBatcher interface {
+	LocalAtAll(xs []mat.Vec) ([]*plm.Linear, error)
+}
+
+// SweepRegions draws n probes uniformly from unit hypercubes centred on
+// random anchors and resolves each probe's closed-form classifier through
+// model.LocalAt (batched via LocalAtAll when the model offers it). The
+// sweep's entire purpose is its side effect: every region it touches lands
+// in whatever RegionStore sits behind the model — a RAM cache, or the disk
+// atlas a census job pre-populates so later interpretation requests are
+// O(1) lookups. progress, when non-nil, receives the cumulative probe count
+// after each chunk; it must be safe for the caller's concurrency.
+func SweepRegions(model plm.RegionModel, anchors []mat.Vec, n int, rng *rand.Rand, progress func(done int)) (SweepReport, error) {
+	if len(anchors) == 0 {
+		return SweepReport{}, fmt.Errorf("eval: census sweep needs at least one anchor")
+	}
+	if n <= 0 {
+		n = 64 * len(anchors)
+	}
+	distinct := make(map[string]bool)
+	done := 0
+	for done < n {
+		count := sweepChunk
+		if rem := n - done; rem < count {
+			count = rem
+		}
+		probes := make([]mat.Vec, count)
+		for i := range probes {
+			anchor := anchors[rng.Intn(len(anchors))]
+			probes[i] = sample.NewHypercube(anchor, 1.0).Sample(rng)
+		}
+		if lb, ok := model.(localBatcher); ok {
+			lins, err := lb.LocalAtAll(probes)
+			if err != nil {
+				return SweepReport{}, fmt.Errorf("eval: census sweep: %w", err)
+			}
+			for _, lin := range lins {
+				distinct[lin.Key] = true
+			}
+		} else {
+			for _, p := range probes {
+				lin, err := model.LocalAt(p)
+				if err != nil {
+					return SweepReport{}, fmt.Errorf("eval: census sweep: %w", err)
+				}
+				key := lin.Key
+				if key == "" {
+					key = model.RegionKey(p)
+				}
+				distinct[key] = true
+			}
+		}
+		done += count
+		if progress != nil {
+			progress(done)
+		}
+	}
+	return SweepReport{Probes: done, DistinctRegions: len(distinct)}, nil
+}
+
 // sameRegionEdge bisects for the largest hypercube edge around x whose
 // sampled corners stay in x's region (8 probe corners per candidate edge).
 func sameRegionEdge(model plm.RegionModel, x mat.Vec, rng *rand.Rand, maxBisect int) float64 {

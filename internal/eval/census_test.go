@@ -8,6 +8,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/openbox"
+	"repro/internal/plm"
 )
 
 func TestRegionCensusMultiRegionNetwork(t *testing.T) {
@@ -58,6 +59,59 @@ func TestRegionCensusErrors(t *testing.T) {
 		t.Fatal("empty anchors accepted")
 	}
 }
+
+func TestSweepRegionsPopulatesStoreAndReportsProgress(t *testing.T) {
+	net := nn.New(rand.New(rand.NewSource(10)), 4, 10, 3)
+	model := openbox.NewCachedPLNNOpts(net, openbox.StoreOptions{Capacity: 1024})
+	rng := rand.New(rand.NewSource(11))
+	anchors := []mat.Vec{randVec(rng, 4), randVec(rng, 4)}
+
+	var ticks []int
+	rep, err := SweepRegions(model, anchors, 300, rng, func(done int) { ticks = append(ticks, done) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes != 300 {
+		t.Fatalf("Probes = %d, want 300", rep.Probes)
+	}
+	if rep.DistinctRegions < 2 {
+		t.Fatalf("a 10-unit ReLU net should expose several regions, got %d", rep.DistinctRegions)
+	}
+	// Progress is chunked (256 probes per batch), cumulative, and ends at n.
+	if len(ticks) != 2 || ticks[0] != 256 || ticks[1] != 300 {
+		t.Fatalf("progress ticks = %v, want [256 300]", ticks)
+	}
+	// The sweep's point is its side effect: every distinct region it touched
+	// is now in the model's region store.
+	if st := model.RegionStoreStats(); st.Size != rep.DistinctRegions {
+		t.Fatalf("store holds %d regions, sweep reported %d distinct", st.Size, rep.DistinctRegions)
+	}
+}
+
+func TestSweepRegionsDefaultBudgetAndFallback(t *testing.T) {
+	// A model without the batched LocalAtAll surface sweeps probe-by-probe
+	// through LocalAt; the default budget is 64 probes per anchor.
+	net := nn.New(rand.New(rand.NewSource(12)), 4, 8, 3)
+	model := localOnly{openbox.NewCachedPLNNOpts(net, openbox.StoreOptions{Capacity: 1024})}
+	rng := rand.New(rand.NewSource(13))
+	anchors := []mat.Vec{randVec(rng, 4), randVec(rng, 4)}
+	rep, err := SweepRegions(model, anchors, 0, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes != 64*len(anchors) {
+		t.Fatalf("default budget swept %d probes, want %d", rep.Probes, 64*len(anchors))
+	}
+	if rep.DistinctRegions < 1 {
+		t.Fatal("fallback sweep found no regions")
+	}
+	if _, err := SweepRegions(model, nil, 10, rng, nil); err == nil {
+		t.Fatal("empty anchors accepted")
+	}
+}
+
+// localOnly hides LocalAtAll so SweepRegions exercises the per-probe path.
+type localOnly struct{ plm.RegionModel }
 
 func TestAblateSolversAgreeOnExactness(t *testing.T) {
 	model := plnnModel(6, 5, 8, 3)

@@ -52,13 +52,25 @@ func Submit(c *api.Client, op string, xs []mat.Vec) (View, error) {
 	return SubmitCtx(context.Background(), c, op, xs)
 }
 
+// SubmitCensus ships a census job over the given anchors with an explicit
+// probe budget (n <= 0 lets the server pick its default sweep size).
+func SubmitCensus(c *api.Client, xs []mat.Vec, n int) (View, error) {
+	return submitN(context.Background(), c, OpCensus, xs, n)
+}
+
 // SubmitCtx is Submit under a caller context. A saturated server's 503
 // carries a Retry-After hint (its mean job drain time); SubmitCtx honors
 // it — a bounded number of times, with the wait cancellable through ctx —
 // before handing the backpressure to the caller.
 func SubmitCtx(ctx context.Context, c *api.Client, op string, xs []mat.Vec) (View, error) {
+	return submitN(ctx, c, op, xs, 0)
+}
+
+// submitN is the shared submit loop; n is the census probe budget (ignored
+// by every other op).
+func submitN(ctx context.Context, c *api.Client, op string, xs []mat.Vec, n int) (View, error) {
 	for attempt := 0; ; attempt++ {
-		v, retryAfter, err := submitOnce(ctx, c, op, xs)
+		v, retryAfter, err := submitOnce(ctx, c, op, xs, n)
 		if err == nil {
 			return v, nil
 		}
@@ -77,7 +89,7 @@ func SubmitCtx(ctx context.Context, c *api.Client, op string, xs []mat.Vec) (Vie
 // submitOnce performs a single submit round trip. On a 503 whose
 // Retry-After header parses, the returned duration is positive and the
 // caller may wait and retry; every other failure returns zero.
-func submitOnce(ctx context.Context, c *api.Client, op string, xs []mat.Vec) (View, time.Duration, error) {
+func submitOnce(ctx context.Context, c *api.Client, op string, xs []mat.Vec, n int) (View, time.Duration, error) {
 	rows := make([][]float64, len(xs))
 	for i, x := range xs {
 		rows[i] = x
@@ -88,18 +100,21 @@ func submitOnce(ctx context.Context, c *api.Client, op string, xs []mat.Vec) (Vi
 	if codec.Name() == wire.NameBinary {
 		err = codec.EncodeMat(&buf, "xs", rows)
 	} else {
-		err = wire.EncodeJSON(&buf, submitRequest{Op: op, Xs: rows})
+		err = wire.EncodeJSON(&buf, submitRequest{Op: op, Xs: rows, N: n})
 	}
 	if err != nil {
 		return View{}, 0, fmt.Errorf("jobs: encode submit: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL()+"/jobs", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL()+c.Prefix()+"/jobs", &buf)
 	if err != nil {
 		return View{}, 0, fmt.Errorf("jobs: build submit: %w", err)
 	}
 	req.Header.Set("Content-Type", codec.ContentType())
 	if codec.Name() == wire.NameBinary {
 		req.Header.Set(OpHeader, op)
+		if n > 0 {
+			req.Header.Set(NHeader, strconv.Itoa(n))
+		}
 	}
 	resp, err := c.HTTPClient().Do(req)
 	if err != nil {
@@ -314,7 +329,7 @@ func fetchPage(c *api.Client, id string, offset, limit int) (View, error) {
 // pageURL builds the GET /jobs/{id} URL with the offset/limit window
 // (limit < 0 omits the parameter: to the end).
 func pageURL(c *api.Client, id string, offset, limit int) string {
-	url := c.BaseURL() + "/jobs/" + id + "?offset=" + strconv.Itoa(offset)
+	url := c.BaseURL() + c.Prefix() + "/jobs/" + id + "?offset=" + strconv.Itoa(offset)
 	if limit >= 0 {
 		url += "&limit=" + strconv.Itoa(limit)
 	}

@@ -29,13 +29,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/eval"
 	"repro/internal/extract"
 	"repro/internal/mat"
 	"repro/internal/plm"
@@ -52,10 +55,14 @@ const (
 	StatusFailed  Status = "failed"
 )
 
-// Op names accepted by Submit.
+// Op names accepted by Submit. A census job sweeps probes drawn around the
+// submitted instances through the white-box closed-form path, populating
+// whatever region store sits behind it (the RAM cache, or the disk atlas) —
+// the async pre-warming half of the persistent region atlas.
 const (
 	OpPredict   = "predict"
 	OpInterpret = "interpret"
+	OpCensus    = "census"
 )
 
 // ErrBacklogFull is returned by Submit when the bounded store holds only
@@ -85,6 +92,9 @@ type View struct {
 	// locally linear region among the submitted instances, not one per
 	// instance: the dedup is the point of the closed form.
 	Regions []Region `json:"regions,omitempty"`
+	// Census holds a census job's sweep summary; the swept regions
+	// themselves live in the region store the sweep populated.
+	Census *eval.SweepReport `json:"census,omitempty"`
 	// Total and Offset describe the result window on paginated responses
 	// (GET /jobs/{id}?offset&limit): Total is the full result count, Offset
 	// where this page starts. Absent on unpaginated (legacy) fetches.
@@ -97,12 +107,18 @@ type job struct {
 	id string
 	op string
 	xs []mat.Vec
+	// n is a census job's probe budget; seed its deterministic RNG seed,
+	// derived from the submission sequence number so a replayed submission
+	// order sweeps identical probes.
+	n    int
+	seed int64
 
 	mu      sync.Mutex
 	status  Status
 	err     string
 	probs   [][]float64
 	regions []Region
+	census  *eval.SweepReport
 }
 
 func (j *job) view() View {
@@ -110,7 +126,7 @@ func (j *job) view() View {
 	defer j.mu.Unlock()
 	return View{
 		ID: j.id, Op: j.op, Status: j.status, N: len(j.xs),
-		Error: j.err, Probs: j.probs, Regions: j.regions,
+		Error: j.err, Probs: j.probs, Regions: j.regions, Census: j.census,
 	}
 }
 
@@ -150,6 +166,11 @@ type Runner struct {
 	seq   int64
 	// evicted counts finished jobs displaced to admit new ones.
 	evicted int64
+
+	// censusDone/censusTotal track sweep progress across all census jobs —
+	// the census_progress fraction in the /stats atlas section.
+	censusDone  atomic.Int64
+	censusTotal atomic.Int64
 
 	// meanRunNS is a recency-weighted mean of job run durations, behind the
 	// Retry-After hint on 503 submits.
@@ -216,14 +237,21 @@ func NewRunner(model plm.Model, white plm.RegionModel, capacity, workers int) (*
 // full, the oldest finished job is evicted to make room; if every stored
 // job is still queued or running, ErrBacklogFull is returned.
 func (r *Runner) Submit(op string, xs []mat.Vec) (string, error) {
+	return r.SubmitN(op, xs, 0)
+}
+
+// SubmitN is Submit with a census probe budget: a census job sweeps n
+// probes drawn around the submitted anchor instances (n <= 0: 64 per
+// anchor). Other ops ignore n.
+func (r *Runner) SubmitN(op string, xs []mat.Vec, n int) (string, error) {
 	switch op {
 	case OpPredict:
-	case OpInterpret:
+	case OpInterpret, OpCensus:
 		if r.white == nil {
-			return "", fmt.Errorf("jobs: interpret jobs need a local white-box replica, this server has none")
+			return "", fmt.Errorf("jobs: %s jobs need a local white-box replica, this server has none", op)
 		}
 	default:
-		return "", fmt.Errorf("jobs: unknown op %q (want %q or %q)", op, OpPredict, OpInterpret)
+		return "", fmt.Errorf("jobs: unknown op %q (want %q, %q or %q)", op, OpPredict, OpInterpret, OpCensus)
 	}
 	if len(xs) == 0 {
 		return "", fmt.Errorf("jobs: empty job")
@@ -233,24 +261,36 @@ func (r *Runner) Submit(op string, xs []mat.Vec) (string, error) {
 			return "", fmt.Errorf("jobs: item %d length %d != %d", i, len(x), r.model.Dim())
 		}
 	}
-	j, err := r.admit(op, xs)
+	if op == OpCensus && n <= 0 {
+		n = 64 * len(xs)
+	}
+	j, err := r.admit(op, xs, n)
 	if err != nil {
 		return "", err
+	}
+	if op == OpCensus {
+		r.censusTotal.Add(int64(j.n))
 	}
 	r.queue <- j // capacity == store capacity, never blocks
 	return j.id, nil
 }
 
+// CensusProgress returns the probes swept so far and the total submitted
+// across all census jobs.
+func (r *Runner) CensusProgress() (done, total int64) {
+	return r.censusDone.Load(), r.censusTotal.Load()
+}
+
 // admit reserves a store slot and registers a new queued job under the
 // lock; the channel send stays in Submit, outside it.
-func (r *Runner) admit(op string, xs []mat.Vec) (*job, error) {
+func (r *Runner) admit(op string, xs []mat.Vec, n int) (*job, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.jobs) >= r.capacity && !r.evictOneLocked() {
 		return nil, ErrBacklogFull
 	}
 	r.seq++
-	j := &job{id: fmt.Sprintf("job-%d", r.seq), op: op, xs: xs, status: StatusQueued}
+	j := &job{id: fmt.Sprintf("job-%d", r.seq), op: op, xs: xs, n: n, seed: r.seq, status: StatusQueued}
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
 	return j, nil
@@ -299,6 +339,7 @@ func (r *Runner) work() {
 		var (
 			probs   [][]float64
 			regions []Region
+			census  *eval.SweepReport
 			err     error
 		)
 		start := time.Now()
@@ -307,14 +348,16 @@ func (r *Runner) work() {
 			probs, err = r.runPredict(j.xs)
 		case OpInterpret:
 			regions, err = r.runInterpret(j.xs)
+		case OpCensus:
+			census, err = r.runCensus(j)
 		}
 		r.observeRun(time.Since(start))
-		j.finish(probs, regions, err)
+		j.finish(probs, regions, census, err)
 	}
 }
 
 // finish records a job's outcome under its lock.
-func (j *job) finish(probs [][]float64, regions []Region, err error) {
+func (j *job) finish(probs [][]float64, regions []Region, census *eval.SweepReport, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err != nil {
@@ -325,6 +368,7 @@ func (j *job) finish(probs [][]float64, regions []Region, err error) {
 	j.status = StatusDone
 	j.probs = probs
 	j.regions = regions
+	j.census = census
 }
 
 // runPredict answers the bulk batch on the served model's fast path — for
@@ -376,16 +420,38 @@ func (r *Runner) runInterpret(xs []mat.Vec) ([]Region, error) {
 	return out, nil
 }
 
+// runCensus sweeps the job's probe budget through the white-box closed-form
+// path, deterministically seeded from the submission sequence number, with
+// cross-job progress folded into the runner's census counters.
+func (r *Runner) runCensus(j *job) (*eval.SweepReport, error) {
+	rng := rand.New(rand.NewSource(j.seed))
+	last := 0
+	rep, err := eval.SweepRegions(r.white, j.xs, j.n, rng, func(done int) {
+		r.censusDone.Add(int64(done - last))
+		last = done
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // submitRequest is the JSON POST /jobs wire form. The binary form is one
-// float frame of probes with the op named by the OpHeader request header.
+// float frame of probes with the op named by the OpHeader request header
+// (and, for census jobs, the probe budget by the NHeader header).
 type submitRequest struct {
 	Op string      `json:"op"`
 	Xs [][]float64 `json:"xs"`
+	// N is a census job's probe budget (0: 64 per submitted anchor).
+	N int `json:"n,omitempty"`
 }
 
 // OpHeader names the job op on binary submissions, whose frame body has no
 // room for an envelope field. Absent means predict, like the JSON form.
 const OpHeader = "X-PLM-Job-Op"
+
+// NHeader carries a census job's probe budget on binary submissions.
+const NHeader = "X-PLM-Job-Probes"
 
 // Mount attaches the async job endpoints to a prediction server and
 // adopts its wire seam (codec stats, body cap).
@@ -406,6 +472,14 @@ func (r *Runner) handleSubmit(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		body = submitRequest{Op: req.Header.Get(OpHeader), Xs: rows}
+		if v := req.Header.Get(NHeader); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				ex.Error(w, http.StatusBadRequest, fmt.Errorf("jobs: bad %s %q", NHeader, v))
+				return
+			}
+			body.N = n
+		}
 	} else if err := ex.ReadJSON(&body); err != nil {
 		ex.Error(w, wire.DecodeStatus(err), fmt.Errorf("jobs: decode request: %w", err))
 		return
@@ -417,7 +491,7 @@ func (r *Runner) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	for i, x := range body.Xs {
 		xs[i] = mat.Vec(x)
 	}
-	id, err := r.Submit(body.Op, xs)
+	id, err := r.SubmitN(body.Op, xs, body.N)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrBacklogFull) {

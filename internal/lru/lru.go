@@ -61,5 +61,25 @@ func (c *Cache[V]) Add(key string, v V) (kept V, inserted, evicted bool) {
 	return v, true, false
 }
 
+// AddWithEvicted behaves exactly like Add but also returns the displaced
+// value when an eviction happened, so byte-accounting callers can subtract
+// the evicted entry's footprint without a second lookup.
+func (c *Cache[V]) AddWithEvicted(key string, v V) (kept V, inserted, evicted bool, displaced V) {
+	var zero V
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, false, false, zero
+	}
+	c.entries[key] = c.ll.PushFront(&entry[V]{key: key, val: v})
+	if c.cap > 0 && c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		old := oldest.Value.(*entry[V])
+		delete(c.entries, old.key)
+		return v, true, true, old.val
+	}
+	return v, true, false, zero
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[V]) Len() int { return c.ll.Len() }

@@ -122,11 +122,39 @@ type PLNN struct {
 var _ plm.RegionModel = (*PLNN)(nil)
 var _ plm.BatchPredictor = (*PLNN)(nil)
 
+// NewCachedPLNNOpts wraps net with a region cache whose storage stack is
+// built from opts, so repeated LocalAt calls for instances in already-seen
+// regions return the memoized composed map — from RAM, or from the durable
+// backing tier when one is configured.
+func NewCachedPLNNOpts(net *nn.Network, opts StoreOptions) *PLNN {
+	return &PLNN{Net: net, Regions: NewRegionCacheOpts(net, opts)}
+}
+
 // NewCachedPLNN wraps net with a region cache of the given capacity
-// (capacity <= 0 means unbounded), so repeated LocalAt calls for instances
-// in already-seen regions return the memoized composed map.
+// (capacity <= 0 means unbounded).
+//
+// Deprecated: use NewCachedPLNNOpts with StoreOptions{Capacity: capacity};
+// the options form is where backing tiers live.
 func NewCachedPLNN(net *nn.Network, capacity int) *PLNN {
-	return &PLNN{Net: net, Regions: NewRegionCache(net, capacity)}
+	return NewCachedPLNNOpts(net, StoreOptions{Capacity: capacity})
+}
+
+// RegionStoreStats implements StoreReporter: the attached region cache's
+// unified store counters (zero without a cache).
+func (p *PLNN) RegionStoreStats() plm.StoreStats {
+	if p.Regions == nil {
+		return plm.StoreStats{}
+	}
+	return p.Regions.StoreStats()
+}
+
+// RegionCompositions implements StoreReporter: how many closed forms the
+// attached cache actually composed (zero without a cache).
+func (p *PLNN) RegionCompositions() int64 {
+	if p.Regions == nil {
+		return 0
+	}
+	return p.Regions.Compositions()
 }
 
 // Predict returns softmax class probabilities.

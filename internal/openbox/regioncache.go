@@ -2,10 +2,8 @@ package openbox
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
-	"repro/internal/lru"
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/plm"
@@ -15,26 +13,35 @@ import (
 // linear regions, keyed by PatternKey. Composing (W_eff, b_eff) costs one
 // GEMM per layer over the full input dimensionality; two instances with the
 // same activation pattern share the identical map, so the second extraction
-// is a map lookup instead of a GEMM chain — the region structure OpenBox
+// is a store lookup instead of a GEMM chain — the region structure OpenBox
 // makes explicit, exploited for compute.
 //
-// A bounded cache evicts least-recently-used regions; capacity <= 0 keeps
-// every region seen. RegionCache is safe for concurrent use. Cached
-// *plm.Linear values are shared between callers and must be treated as
-// read-only (every consumer in this repository is).
+// Storage lives behind the RegionStore contract: by default an in-RAM LRU
+// (capacity <= 0 keeps every region seen), optionally layered over a
+// durable backing tier (the disk atlas) via StoreOptions.Backing.
+// RegionCache is safe for concurrent use. Stored *plm.Linear values are
+// shared between callers and must be treated as read-only (every consumer
+// in this repository is).
 type RegionCache struct {
-	net *nn.Network
+	net   *nn.Network
+	store RegionStore
 
-	mu sync.Mutex
-	c  *lru.Cache[*plm.Linear]
+	compositions atomic.Int64
+}
 
-	hits, misses, evictions, compositions atomic.Int64
+// NewRegionCacheOpts returns a cache over net whose storage stack is built
+// from opts (see NewStore).
+func NewRegionCacheOpts(net *nn.Network, opts StoreOptions) *RegionCache {
+	return &RegionCache{net: net, store: NewStore(opts)}
 }
 
 // NewRegionCache returns a cache over net holding at most capacity regions
 // (capacity <= 0 means unbounded).
+//
+// Deprecated: use NewRegionCacheOpts with StoreOptions{Capacity: capacity};
+// the options form is where backing tiers and future knobs live.
 func NewRegionCache(net *nn.Network, capacity int) *RegionCache {
-	return &RegionCache{net: net, c: lru.New[*plm.Linear](capacity)}
+	return NewRegionCacheOpts(net, StoreOptions{Capacity: capacity})
 }
 
 // RegionCacheStats is a point-in-time snapshot of cache behaviour.
@@ -47,20 +54,27 @@ type RegionCacheStats struct {
 
 // Stats returns the cache counters.
 func (rc *RegionCache) Stats() RegionCacheStats {
+	s := rc.store.Stats()
 	return RegionCacheStats{
-		Hits:         rc.hits.Load(),
-		Misses:       rc.misses.Load(),
-		Evictions:    rc.evictions.Load(),
+		Hits:         s.Hits,
+		Misses:       s.Misses,
+		Evictions:    s.Evictions,
 		Compositions: rc.compositions.Load(),
 	}
 }
 
-// Len returns the number of regions currently cached.
-func (rc *RegionCache) Len() int {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	return rc.c.Len()
-}
+// StoreStats returns the unified accounting shape of the underlying store
+// stack (see plm.StoreStats).
+func (rc *RegionCache) StoreStats() plm.StoreStats { return rc.store.Stats() }
+
+// Compositions returns how many times the GEMM chain actually ran.
+func (rc *RegionCache) Compositions() int64 { return rc.compositions.Load() }
+
+// Store exposes the underlying store stack, for wiring stats or snapshots.
+func (rc *RegionCache) Store() RegionStore { return rc.store }
+
+// Len returns the number of regions currently stored.
+func (rc *RegionCache) Len() int { return rc.store.Len() }
 
 // LocalAt returns the memoized locally linear classifier of the region
 // containing x, composing it on first sight of the region.
@@ -104,39 +118,21 @@ func (rc *RegionCache) ExtractAll(xs []mat.Vec) ([]*plm.Linear, error) {
 	return out, nil
 }
 
-// localForPattern returns the cached map for the region the pattern selects,
-// composing and inserting it on a miss. The composition runs outside the
-// lock: two goroutines missing the same fresh region may both compose, but
-// the results are identical and only the incumbent is kept.
+// localForPattern returns the stored map for the region the pattern selects,
+// composing and inserting it on a miss. The composition runs outside any
+// store lock: two goroutines missing the same fresh region may both compose,
+// but the results are identical and Insert keeps only the incumbent.
 func (rc *RegionCache) localForPattern(pattern []bool) (*plm.Linear, error) {
 	key := PatternKey(pattern)
-	// Audited manual-unlock fast path: deferring would hold the lock
-	// across the GEMM-chain composition and serialize every extraction.
-	// Invariant: both exits from this check (hit, miss) unlock exactly
-	// once, and nothing between Lock and Unlock can panic.
-	rc.mu.Lock() //plmvet:allow(lockheld)
-	if lin, ok := rc.c.Get(key); ok {
-		rc.mu.Unlock()
-		rc.hits.Add(1)
+	if lin, ok := rc.store.Lookup(key); ok {
 		return lin, nil
 	}
-	rc.mu.Unlock()
-
-	rc.misses.Add(1)
 	rc.compositions.Add(1)
 	lin, err := composeFromPattern(rc.net, pattern)
 	if err != nil {
 		return nil, err
 	}
-	rc.mu.Lock()
-	// On a lost compose race Add keeps and returns the incumbent, so every
-	// caller holds the same shared value.
-	kept, _, evicted := rc.c.Add(key, lin)
-	rc.mu.Unlock()
-	if evicted {
-		rc.evictions.Add(1)
-	}
-	return kept, nil
+	return rc.store.Insert(key, lin), nil
 }
 
 // ExtractAll is the package-level batch extraction: activation patterns via
@@ -146,35 +142,46 @@ func ExtractAll(n *nn.Network, xs []mat.Vec) ([]*plm.Linear, error) {
 	return NewRegionCache(n, 0).ExtractAll(xs)
 }
 
-// CacheRegionModel wraps any white-box model so repeated LocalAt calls for
-// instances in an already-seen region return the memoized classifier,
-// keyed by RegionKey (capacity <= 0 means unbounded). A PLNN gets the
-// pattern-level RegionCache; families implementing the per-family pattern
-// hook (plm.PatternRegionModel — MaxOut, LMT) get the same economics
-// through the generic cache: one pattern-building pass per call, hits skip
-// the composition, and misses compose straight from the captured pattern
-// instead of re-deriving it from x. A family with neither hook falls back
-// to RegionKey + LocalAt (one extra derivation per miss). The evaluation
-// harness wraps its ground-truth model with this before a metrics run:
-// RD/WD/L1Dist query LocalAt per probe and per sample, but only per region
-// does the answer change.
-func CacheRegionModel(m plm.RegionModel, capacity int) plm.RegionModel {
+// CacheRegionModelOpts wraps any white-box model so repeated LocalAt calls
+// for instances in an already-seen region return the memoized classifier,
+// keyed by RegionKey, with the storage stack built from opts. A PLNN gets
+// the pattern-level RegionCache; families implementing the per-family
+// pattern hook (plm.PatternRegionModel — MaxOut, LMT) get the same
+// economics through the generic cache: one pattern-building pass per call,
+// hits skip the composition, and misses compose straight from the captured
+// pattern instead of re-deriving it from x. A family with neither hook
+// falls back to RegionKey + LocalAt (one extra derivation per miss). The
+// evaluation harness wraps its ground-truth model with this before a
+// metrics run: RD/WD/L1Dist query LocalAt per probe and per sample, but
+// only per region does the answer change.
+func CacheRegionModelOpts(m plm.RegionModel, opts StoreOptions) plm.RegionModel {
 	if p, ok := m.(*PLNN); ok {
 		if p.Regions != nil {
 			return p
 		}
-		return &PLNN{Net: p.Net, Regions: NewRegionCache(p.Net, capacity)}
+		return &PLNN{Net: p.Net, Regions: NewRegionCacheOpts(p.Net, opts)}
 	}
-	return &cachedRegionModel{RegionModel: m, c: lru.New[*plm.Linear](capacity)}
+	return &cachedRegionModel{RegionModel: m, store: NewStore(opts)}
+}
+
+// CacheRegionModel wraps m with a region store of the given capacity
+// (capacity <= 0 means unbounded).
+//
+// Deprecated: use CacheRegionModelOpts with StoreOptions{Capacity:
+// capacity}; the options form is where backing tiers live.
+func CacheRegionModel(m plm.RegionModel, capacity int) plm.RegionModel {
+	return CacheRegionModelOpts(m, StoreOptions{Capacity: capacity})
 }
 
 // cachedRegionModel memoizes LocalAt per RegionKey for any RegionModel.
 type cachedRegionModel struct {
 	plm.RegionModel
 
-	mu sync.Mutex
-	c  *lru.Cache[*plm.Linear]
+	store        RegionStore
+	compositions atomic.Int64
 }
+
+var _ StoreReporter = (*cachedRegionModel)(nil)
 
 func (c *cachedRegionModel) LocalAt(x mat.Vec) (*plm.Linear, error) {
 	var (
@@ -194,21 +201,19 @@ func (c *cachedRegionModel) LocalAt(x mat.Vec) (*plm.Linear, error) {
 		key = c.RegionModel.RegionKey(x)
 		compose = func() (*plm.Linear, error) { return c.RegionModel.LocalAt(x) }
 	}
-	// Audited manual-unlock fast path, same shape and invariant as
-	// RegionCache.localForPattern: unlock before composing so a miss does
-	// not serialize the cache.
-	c.mu.Lock() //plmvet:allow(lockheld)
-	if lin, ok := c.c.Get(key); ok {
-		c.mu.Unlock()
+	if lin, ok := c.store.Lookup(key); ok {
 		return lin, nil
 	}
-	c.mu.Unlock()
+	c.compositions.Add(1)
 	lin, err := compose()
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	kept, _, _ := c.c.Add(key, lin)
-	c.mu.Unlock()
-	return kept, nil
+	return c.store.Insert(key, lin), nil
 }
+
+// RegionStoreStats implements StoreReporter.
+func (c *cachedRegionModel) RegionStoreStats() plm.StoreStats { return c.store.Stats() }
+
+// RegionCompositions implements StoreReporter.
+func (c *cachedRegionModel) RegionCompositions() int64 { return c.compositions.Load() }

@@ -1,0 +1,159 @@
+package openbox
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lru"
+	"repro/internal/plm"
+)
+
+// RegionStore is the one contract every region-model store implements: the
+// in-RAM LRU (NewStore), the disk-backed atlas (internal/atlas), and the
+// tiered composition of the two. Keys are PatternKey fingerprints; values
+// are shared read-only closed forms.
+//
+// Lookup returns the stored classifier for key when present. Insert stores
+// lin under key and returns the value actually retained — on a duplicate
+// insert the incumbent wins, so racing fillers all converge on one shared
+// *plm.Linear. Stats reports the unified accounting shape; Len the number
+// of live entries. Implementations must be safe for concurrent use.
+type RegionStore interface {
+	Lookup(key string) (*plm.Linear, bool)
+	Insert(key string, lin *plm.Linear) *plm.Linear
+	Stats() plm.StoreStats
+	Len() int
+}
+
+// StoreOptions configures a region store stack. Capacity bounds the in-RAM
+// LRU tier (<= 0 means unbounded). Backing, when non-nil, is a second
+// durable tier behind the LRU — typically the disk atlas — consulted on RAM
+// misses and written through on inserts.
+type StoreOptions struct {
+	Capacity int
+	Backing  RegionStore
+}
+
+// NewStore builds a store from options: a plain LRU tier, or, with Backing
+// set, an LRU front layered over the durable tier (read-through on lookup,
+// write-through on insert).
+func NewStore(opts StoreOptions) RegionStore {
+	front := &memStore{c: lru.New[*plm.Linear](opts.Capacity)}
+	if opts.Backing == nil {
+		return front
+	}
+	return &tieredStore{front: front, back: opts.Backing}
+}
+
+// StoreReporter is the stats hook a serving layer probes for with a type
+// assertion: any region model whose LocalAt path runs through a RegionStore
+// can report the store's counters and how many closed forms it actually
+// composed (as opposed to looked up).
+type StoreReporter interface {
+	RegionStoreStats() plm.StoreStats
+	RegionCompositions() int64
+}
+
+// memStore is the in-RAM LRU tier: a string-keyed LRU of shared closed
+// forms with byte accounting. Safe for concurrent use.
+type memStore struct {
+	mu    sync.Mutex
+	c     *lru.Cache[*plm.Linear]
+	bytes int64
+
+	hits, misses, evictions atomic.Int64
+}
+
+func (s *memStore) Lookup(key string) (*plm.Linear, bool) {
+	s.mu.Lock()
+	lin, ok := s.c.Get(key)
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return lin, true
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+func (s *memStore) Insert(key string, lin *plm.Linear) *plm.Linear {
+	kept, evicted := s.insertLocked(key, lin)
+	if evicted {
+		s.evictions.Add(1)
+	}
+	return kept
+}
+
+func (s *memStore) insertLocked(key string, lin *plm.Linear) (*plm.Linear, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept, inserted, evicted, displaced := s.c.AddWithEvicted(key, lin)
+	if inserted {
+		s.bytes += plm.LinearBytes(lin)
+	}
+	if evicted {
+		s.bytes -= plm.LinearBytes(displaced)
+	}
+	return kept, evicted
+}
+
+func (s *memStore) Stats() plm.StoreStats {
+	s.mu.Lock()
+	size, bytes := s.c.Len(), s.bytes
+	s.mu.Unlock()
+	return plm.StoreStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Size:      size,
+		Bytes:     bytes,
+	}
+}
+
+func (s *memStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Len()
+}
+
+// tieredStore layers a RAM LRU in front of a durable tier. Lookups fall
+// through front → back, promoting back-tier hits into the front; inserts
+// write the durable tier first (its incumbent wins) and then populate the
+// front with whatever the back retained.
+type tieredStore struct {
+	front *memStore
+	back  RegionStore
+}
+
+func (t *tieredStore) Lookup(key string) (*plm.Linear, bool) {
+	if lin, ok := t.front.Lookup(key); ok {
+		return lin, true
+	}
+	lin, ok := t.back.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	return t.front.Insert(key, lin), true
+}
+
+func (t *tieredStore) Insert(key string, lin *plm.Linear) *plm.Linear {
+	kept := t.back.Insert(key, lin)
+	return t.front.Insert(key, kept)
+}
+
+// Stats reports the combined tiers: hits from either tier are hits, but
+// only back-tier misses are true cold misses (a front miss answered by the
+// back cost no composition). Size is the durable tier's — the front holds a
+// subset — while Bytes sums both footprints.
+func (t *tieredStore) Stats() plm.StoreStats {
+	f, b := t.front.Stats(), t.back.Stats()
+	return plm.StoreStats{
+		Hits:      f.Hits + b.Hits,
+		Misses:    b.Misses,
+		Evictions: f.Evictions + b.Evictions,
+		Size:      b.Size,
+		Bytes:     f.Bytes + b.Bytes,
+	}
+}
+
+func (t *tieredStore) Len() int { return t.back.Len() }

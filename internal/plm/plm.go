@@ -224,6 +224,41 @@ func (in *Interpretation) Opposing() []int {
 	return out
 }
 
+// StoreStats is the one accounting shape every cache and store in the
+// repository reports — response caches, region caches, and the disk atlas
+// alike — so /stats dashboards parse a single schema instead of one ad-hoc
+// section per cache. Size is the number of live entries; Bytes is the
+// approximate footprint (0 when a store does not track it).
+type StoreStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// Add returns the entrywise sum of two stat snapshots — how a tiered store
+// reports the combined work of its layers.
+func (s StoreStats) Add(o StoreStats) StoreStats {
+	return StoreStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		Size:      s.Size + o.Size,
+		Bytes:     s.Bytes + o.Bytes,
+	}
+}
+
+// LinearBytes estimates the in-memory footprint of a region's closed form:
+// the W payload plus the bias vector, in float64s. Stores use it for byte
+// accounting; it intentionally ignores struct headers.
+func LinearBytes(l *Linear) int64 {
+	if l == nil {
+		return 0
+	}
+	return int64(l.W.Rows()*l.W.Cols()+len(l.B)) * 8
+}
+
 // Interpreter is the common surface of OpenAPI and every baseline.
 type Interpreter interface {
 	// Name returns a short identifier used in experiment tables ("OpenAPI",

@@ -2,7 +2,7 @@
 # bench_trajectory.sh — run the committed benchmark-trajectory sets (PR 3:
 # compute fast path, PR 4: heterogeneous shards, PR 5: batched training
 # epoch, PR 7: wire codecs, PR 8: hedged-dispatch tail latency, PR 9: fused
-# GEMM epilogues + kernel tiers), merge the
+# GEMM epilogues + kernel tiers, PR 10: persistent region atlas), merge the
 # results into one JSON file, and gate
 # them against the committed snapshots with `benchjson -compare`.
 #
@@ -50,6 +50,13 @@ echo "== PR 9 set: fused GEMM epilogues, best tier vs unfused PR-3 forward"
 go test -run='^$' -bench='BenchmarkMulEpilogue' -benchtime=10x ./internal/mat/ >"$tmp/epilogue.txt"
 go test -run='^$' -bench='BenchmarkForward(Fused|UnfusedPR3_)256' -benchtime=20x ./internal/nn/ >"$tmp/fused.txt"
 
-cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt "$tmp"/hedge.txt "$tmp"/epilogue.txt "$tmp"/fused.txt |
+# The warm-lookup path runs in microseconds, so like the wire set it gets a
+# deeper iteration count: at 20x the first-iteration page-cache effects
+# dominate and the gate would flap.
+echo "== PR 10 set: region atlas (cold compose vs warm disk lookup, reopen)"
+go test -run='^$' -bench='BenchmarkAtlas_(ColdCompose|WarmLookup)' -benchtime=500x ./internal/atlas/ >"$tmp/atlas.txt"
+go test -run='^$' -bench='BenchmarkAtlas_Reopen' -benchtime=50x ./internal/atlas/ >>"$tmp/atlas.txt"
+
+cat "$tmp"/nn.txt "$tmp"/openbox.txt "$tmp"/mat.txt "$tmp"/shard.txt "$tmp"/train.txt "$tmp"/wire.txt "$tmp"/hedge.txt "$tmp"/epilogue.txt "$tmp"/fused.txt "$tmp"/atlas.txt |
 	go run ./cmd/benchjson -out "$out" \
-		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr9.json -tol "$tol"
+		-compare BENCH_pr3.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr9.json,BENCH_pr10.json -tol "$tol"
